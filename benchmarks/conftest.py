@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure/table of the paper's evaluation
+section and prints the measured rows next to the numbers the paper reports.
+A single session-scoped :class:`ExperimentRunner` (quick preset) is shared by
+all benchmarks so the expensive ground-truth surveys are simulated once.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.experiments.runner import ExperimentRunner  # noqa: E402
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as reproducing a paper figure"
+    )
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Shared experiment runner (quick preset: day 0 + day 45, office-sized)."""
+    return ExperimentRunner(ExperimentConfig.quick())
+
+
+@pytest.fixture(scope="session")
+def multi_stamp_runner() -> ExperimentRunner:
+    """Runner with several later time stamps for the over-time figures."""
+    config = ExperimentConfig(
+        timestamps_days=(0.0, 5.0, 45.0),
+        localization_trials=30,
+        survey_samples=6,
+    )
+    return ExperimentRunner(config)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

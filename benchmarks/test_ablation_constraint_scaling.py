@@ -1,0 +1,42 @@
+"""Ablation — weighting policy of the Constraint-2 structural penalties."""
+
+import pytest
+
+from repro.core.self_augmented import SelfAugmentedConfig
+from repro.core.updater import UpdaterConfig
+from repro.experiments.reporting import format_key_values
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("ablation-scaling")
+def test_ablation_constraint_scaling(benchmark, runner):
+    campaign = runner.cache.campaign("office")
+    ground_truth = campaign.ground_truth(45.0)
+
+    def run_ablation():
+        errors = {}
+        weights = {"auto (0.1)": None, "weak (0.01)": 0.01, "strong (1.0)": 1.0}
+        for label, weight in weights.items():
+            config = UpdaterConfig(
+                solver=SelfAugmentedConfig(structure_weight=weight)
+            )
+            updater = campaign.make_updater(config)
+            result = campaign.run_update(45.0, updater=updater)
+            errors[label] = result.matrix.reconstruction_error_db(ground_truth)
+        return errors
+
+    errors = run_once(benchmark, run_ablation)
+    print()
+    print(
+        format_key_values(
+            "Ablation — reconstruction error vs Constraint-2 weight", errors, unit="dB"
+        )
+    )
+    stale = campaign.database.original.reconstruction_error_db(ground_truth)
+    # Every weighting must still beat the stale database; over-weighting the
+    # structural term should not dominate the data terms (the paper's
+    # "scale to the same order of magnitude" guidance).
+    for label, error in errors.items():
+        assert error < stale, label
+    assert errors["auto (0.1)"] <= errors["strong (1.0)"] + 0.5

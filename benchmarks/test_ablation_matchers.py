@@ -1,0 +1,42 @@
+"""Ablation — localization matcher (OMP vs KNN vs RASS/SVR) on the same matrix."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import _fixed_test_set, _localization_errors
+from repro.experiments.reporting import format_key_values
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("ablation-matchers")
+def test_ablation_matchers(benchmark, runner):
+    campaign = runner.cache.campaign("office")
+    reconstructed = campaign.run_update(45.0).matrix
+    test_indices = _fixed_test_set(campaign, 30)
+    measurements = campaign.online_measurements(test_indices, 45.0)
+
+    def run_ablation():
+        summary = {}
+        for matcher in ("omp", "knn", "rass"):
+            errors = _localization_errors(
+                campaign, reconstructed, test_indices, measurements, localizer=matcher
+            )
+            summary[f"{matcher} (median)"] = float(np.median(errors))
+            summary[f"{matcher} (mean)"] = float(np.mean(errors))
+        return summary
+
+    summary = run_once(benchmark, run_ablation)
+    print()
+    print(
+        format_key_values(
+            "Ablation — localization error by matcher (reconstructed DB)",
+            summary,
+            unit="m",
+        )
+    )
+    # The paper's argument: the non-linear OMP formulation outperforms the
+    # SVR-based matcher in typical (median) error.  Means are dominated by a
+    # handful of outlier misses under single-shot online measurements, so the
+    # assertion is on the median.
+    assert summary["omp (median)"] <= summary["rass (median)"] + 0.3

@@ -1,0 +1,36 @@
+"""Ablation — MIC reference-selection strategy (QR pivoting vs Gaussian)."""
+
+import pytest
+
+from repro.core.updater import UpdaterConfig
+from repro.experiments.reporting import format_key_values
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("ablation-mic")
+def test_ablation_mic_strategy(benchmark, runner):
+    campaign = runner.cache.campaign("office")
+    ground_truth = campaign.ground_truth(45.0)
+
+    def run_ablation():
+        errors = {}
+        for strategy in ("qr", "gauss"):
+            updater = campaign.make_updater(UpdaterConfig(mic_strategy=strategy))
+            result = campaign.run_update(45.0, updater=updater)
+            errors[strategy] = result.matrix.reconstruction_error_db(ground_truth)
+        return errors
+
+    errors = run_once(benchmark, run_ablation)
+    print()
+    print(
+        format_key_values(
+            "Ablation — reconstruction error by MIC selection strategy", errors, unit="dB"
+        )
+    )
+    stale = campaign.database.original.reconstruction_error_db(ground_truth)
+    # Both strategies must beat the stale database; neither should be wildly
+    # worse than the other.
+    for strategy, error in errors.items():
+        assert error < stale, strategy
+    assert abs(errors["qr"] - errors["gauss"]) < 2.0

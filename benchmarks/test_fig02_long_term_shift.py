@@ -1,0 +1,28 @@
+"""Fig. 2 — long-term RSS shift after 5 and 45 days."""
+
+import pytest
+
+from repro.experiments.reporting import format_key_values
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig2")
+def test_fig02_long_term_shift(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig02_long_term_shift")
+    print()
+    print(
+        format_key_values(
+            "Fig. 2 — long-term RSS shift at a fixed location",
+            {
+                "measured shift @ 5 days": result["shift_5_days_db"],
+                "paper shift @ 5 days": result["paper_shift_5_days_db"],
+                "measured shift @ 45 days": result["shift_45_days_db"],
+                "paper shift @ 45 days": result["paper_shift_45_days_db"],
+            },
+            unit="dB",
+        )
+    )
+    # Shape check: the shift grows with elapsed time and reaches several dB.
+    assert result["shift_45_days_db"] > result["shift_5_days_db"]
+    assert result["shift_45_days_db"] > 1.0

@@ -1,0 +1,31 @@
+"""Fig. 5 — the fingerprint matrix is approximately low rank."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_key_values
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig5")
+def test_fig05_low_rank(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig05_low_rank")
+    profiles = result["singular_value_profiles"]
+    print()
+    for days, profile in profiles.items():
+        print(f"  day {days:>4g}: normalized singular values {np.round(profile, 3)}")
+    print(
+        format_key_values(
+            "Fig. 5 — leading singular value energy fraction",
+            result["leading_energy_fraction"],
+        )
+    )
+    # Paper: the largest singular value carries most of the energy at every
+    # time stamp, but residual energy remains in the other values (the matrix
+    # is approximately, not exactly, low rank).
+    for days, profile in profiles.items():
+        assert profile[0] == pytest.approx(1.0)
+        assert result["leading_energy_fraction"][days] > 0.5
+        assert result["approximately_low_rank"][days]
+        assert np.all(profile[1:] > 0.0)

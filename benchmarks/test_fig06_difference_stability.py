@@ -1,0 +1,29 @@
+"""Fig. 6 — RSS differences are more stable than raw RSS readings."""
+
+import pytest
+
+from repro.experiments.reporting import format_key_values
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig6")
+def test_fig06_difference_stability(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig06_difference_stability")
+    print()
+    print(
+        format_key_values(
+            "Fig. 6 — stability of RSS vs RSS differences (100 s trace)",
+            {
+                "raw RSS std": result["rss_std_db"],
+                "neighbour-difference std": result["neighbour_std_db"],
+                "adjacent-link-difference std": result["adjacent_std_db"],
+                "neighbour stability ratio": result["neighbour_stability_ratio"],
+                "adjacent stability ratio": result["adjacent_stability_ratio"],
+            },
+        )
+    )
+    # The differences must vary no more than the raw readings (the paper
+    # observes they vary much less).
+    assert result["neighbour_stability_ratio"] < 1.5
+    assert result["adjacent_stability_ratio"] < 1.5

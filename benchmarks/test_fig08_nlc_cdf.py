@@ -1,0 +1,22 @@
+"""Fig. 8 — CDF of the neighbouring-location continuity statistic NLC."""
+
+import pytest
+
+from repro.experiments.reporting import format_key_values
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig8")
+def test_fig08_nlc_cdf(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig08_nlc_cdf")
+    print()
+    print(
+        format_key_values(
+            "Fig. 8 — fraction of NLC values below 0.2 (paper: ~0.9)",
+            result["fraction_below_0_2"],
+        )
+    )
+    # Observation 2: the bulk of NLC values are small at every time stamp.
+    for days, fraction in result["fraction_below_0_2"].items():
+        assert fraction > 0.6, f"day {days}: NLC fraction {fraction}"

@@ -1,0 +1,30 @@
+"""Fig. 14 — reconstruction-error CDF vs number of reference locations (45 days)."""
+
+import pytest
+
+from repro.experiments.reporting import format_cdf_summary
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig14")
+def test_fig14_reference_count_cdf(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig14_reference_count_cdf")
+    medians = result["median_errors_db"]
+    print()
+    print(
+        format_cdf_summary(
+            "Fig. 14 — reconstruction errors per reference set @ 45 days [dB]",
+            result["per_column_errors_db"],
+        )
+    )
+    mic_label = "8 reference locations (iUpdater)"
+    fewer_label = "7 reference locations"
+    extra_label = "(8 reference + 1 random) locations"
+    random_label = "11 random locations"
+    # Paper's Claim 1: the MIC set is minimal — dropping a reference location
+    # degrades the reconstruction; adding one changes little; random
+    # locations are clearly worse.
+    assert medians[fewer_label] >= medians[mic_label]
+    assert medians[random_label] >= medians[mic_label]
+    assert medians[extra_label] <= medians[fewer_label] + 0.5

@@ -1,0 +1,25 @@
+"""Fig. 15 — average reconstruction error per reference set at several time stamps."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_series_table
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig15")
+def test_fig15_reference_count_over_time(benchmark, multi_stamp_runner):
+    result = run_once(benchmark, multi_stamp_runner.run, "fig15_reference_count_over_time")
+    series = result["mean_errors_db"]
+    print()
+    print(
+        format_series_table(
+            "Fig. 15 — mean reconstruction error per reference set", series, unit="dB"
+        )
+    )
+    mic = series["8 reference locations (iUpdater)"]
+    random11 = series["11 random locations"]
+    # The MIC-selected reference set must be at least as good as random
+    # locations on average across the time stamps.
+    assert np.mean(list(mic.values())) <= np.mean(list(random11.values())) + 0.5

@@ -1,0 +1,29 @@
+"""Fig. 17 — Constraint 2 lets partial surveys match full (noisy) surveys."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_series_table
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig17")
+def test_fig17_partial_data(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig17_partial_data")
+    series = result["mean_localization_errors_m"]
+    print()
+    print(
+        format_series_table(
+            "Fig. 17 — mean localization error with partial surveys + Constraint 2",
+            series,
+            unit="m",
+        )
+    )
+    full = np.mean(list(series["Measured (ground truth)"].values()))
+    partial_80 = np.mean(list(series["80% data + Constraint 2"].values()))
+    partial_50 = np.mean(list(series["50% data + Constraint 2"].values()))
+    # Paper's Claim 3: 80 % (and even 50 %) of the measurements plus the
+    # structural constraint perform comparably to the fully measured matrix.
+    assert partial_80 <= full * 1.6
+    assert partial_50 <= full * 1.9

@@ -1,0 +1,27 @@
+"""Fig. 19 — reconstruction error across the hall / office / library environments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_series_table
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig19")
+def test_fig19_environments(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig19_environments")
+    series = result["mean_errors_db"]
+    print()
+    print(
+        format_series_table(
+            "Fig. 19 — mean reconstruction error per environment", series, unit="dB"
+        )
+    )
+    hall = np.mean(list(series["hall"].values()))
+    library = np.mean(list(series["library"].values()))
+    # Paper: the low-multipath hall reconstructs more accurately than the
+    # rich-multipath library; all environments stay within a few dB.
+    assert hall <= library + 0.5
+    for name, values in series.items():
+        assert np.mean(list(values.values())) < 6.0, name

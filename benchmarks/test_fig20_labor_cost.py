@@ -1,0 +1,24 @@
+"""Fig. 20 — fingerprint update time cost versus deployment-area size."""
+
+import numpy as np
+import pytest
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig20")
+def test_fig20_labor_cost(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig20_labor_cost")
+    print()
+    print("Fig. 20 — update time cost vs area scale (hours)")
+    print(f"{'scale':>8}{'traditional':>14}{'iUpdater':>12}")
+    for scale, traditional, iupdater in zip(
+        result["scale_factors"], result["traditional_hours"], result["iupdater_hours"]
+    ):
+        print(f"{scale:>8.0f}{traditional:>14.2f}{iupdater:>12.3f}")
+    # The traditional survey cost must dominate iUpdater at every scale and
+    # grow much faster with area size.
+    assert np.all(result["traditional_hours"] > result["iupdater_hours"])
+    growth_traditional = result["traditional_hours"][-1] / result["traditional_hours"][0]
+    growth_iupdater = result["iupdater_hours"][-1] / result["iupdater_hours"][0]
+    assert growth_traditional > growth_iupdater

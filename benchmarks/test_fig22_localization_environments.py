@@ -1,0 +1,35 @@
+"""Fig. 22 — localization errors in hall / office / library over time."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_key_values, format_series_table
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig22")
+def test_fig22_localization_environments(benchmark, runner):
+    result = run_once(benchmark, runner.run, "fig22_localization_environments")
+    print()
+    for environment, series in result["mean_errors_m"].items():
+        print(
+            format_series_table(
+                f"Fig. 22 — mean localization error, {environment}", series, unit="m"
+            )
+        )
+    print(
+        format_key_values(
+            "Improvement of iUpdater over the stale database "
+            "(paper: 66.7 % hall / 57.4 % office / 55.1 % library)",
+            result["improvement_over_stale"],
+        )
+    )
+    for environment, series in result["mean_errors_m"].items():
+        updated = np.mean(list(series["iUpdater"].values()))
+        stale = np.mean(list(series["OMP w/o rec."].values()))
+        ground = np.mean(list(series["Groundtruth"].values()))
+        # iUpdater must track the ground-truth database and not trail the
+        # stale database in any environment.
+        assert updated <= stale + 0.3, environment
+        assert ground <= updated + 0.5, environment

@@ -1,0 +1,27 @@
+"""Fig. 24 — comparison with the RASS baseline across time stamps."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_series_table
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("fig24")
+def test_fig24_rass_over_time(benchmark, multi_stamp_runner):
+    result = run_once(benchmark, multi_stamp_runner.run, "fig24_rass_over_time")
+    series = result["mean_errors_m"]
+    print()
+    print(
+        format_series_table(
+            "Fig. 24 — mean localization error vs RASS over time", series, unit="m"
+        )
+    )
+    iupdater = np.mean(list(series["iUpdater"].values()))
+    rass_with = np.mean(list(series["RASS w/ rec."].values()))
+    rass_without = np.mean(list(series["RASS w/o rec."].values()))
+    # Paper: iUpdater achieves the lowest average error; RASS benefits from
+    # the reconstructed matrix.
+    assert iupdater <= rass_with + 0.3
+    assert rass_with <= rass_without + 0.3

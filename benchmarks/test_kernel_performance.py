@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the heavy numerical kernels.
+
+Unlike the figure benchmarks (which run a full experiment once and assert the
+paper's qualitative shape), these time the individual solvers with repeated
+pytest-benchmark rounds so performance regressions are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lrr import low_rank_representation
+from repro.core.mic import select_reference_locations
+from repro.core.self_augmented import SelfAugmentedConfig, self_augmented_rsvd
+from repro.localization.omp import OMPLocalizer
+
+
+@pytest.fixture(scope="module")
+def office_matrix(runner):
+    campaign = runner.cache.campaign("office")
+    return campaign, campaign.database.original
+
+
+def test_kernel_mic_selection(benchmark, office_matrix):
+    _, original = office_matrix
+    result = benchmark(select_reference_locations, original.values)
+    assert result.count <= original.link_count
+
+
+def test_kernel_lrr_solve(benchmark, office_matrix):
+    _, original = office_matrix
+    mic = select_reference_locations(original.values)
+    result = benchmark(low_rank_representation, original.values, mic.mic_matrix)
+    assert result.correlation.shape == (mic.count, original.location_count)
+
+
+def test_kernel_self_augmented_solver(benchmark, office_matrix):
+    campaign, original = office_matrix
+    observed, mask = campaign.collector.collect_no_decrease(elapsed_days=45.0)
+    mic = select_reference_locations(original.values)
+    lrr = low_rank_representation(original.values, mic.mic_matrix)
+    reference = campaign.collector.collect_reference(mic.indices, elapsed_days=45.0)
+    prediction = lrr.predict(reference)
+    config = SelfAugmentedConfig(max_iterations=10)
+
+    result = benchmark.pedantic(
+        self_augmented_rsvd,
+        args=(observed, mask, original.locations_per_link),
+        kwargs={"prediction": prediction, "config": config, "rng": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.estimate.shape == original.shape
+
+
+def test_kernel_omp_localization(benchmark, office_matrix):
+    campaign, original = office_matrix
+    locations = campaign.deployment.location_array()
+    localizer = OMPLocalizer(original, locations)
+    measurement = original.column(10) + 0.5
+
+    index = benchmark(localizer.localize_index, measurement)
+    assert 0 <= index < original.location_count

@@ -1,0 +1,32 @@
+"""Section VI-C text — labor-cost savings of 97.9 % / 92.1 % in the office."""
+
+import pytest
+
+from repro.experiments.reporting import format_key_values
+
+from .conftest import run_once
+
+
+@pytest.mark.figure("labor-cost")
+def test_labor_cost_savings(benchmark, runner):
+    result = run_once(benchmark, runner.run, "labor_cost_savings")
+    print()
+    print(
+        format_key_values(
+            "Labor cost (office, 94 grids, 8 reference locations)",
+            {
+                "iUpdater update time [s]": result["iupdater_seconds"],
+                "paper iUpdater time [s]": result["paper_iupdater_seconds"],
+                "traditional (50 samples) [min]": result["traditional_50_samples_minutes"],
+                "paper traditional [min]": result["paper_traditional_minutes"],
+                "saving vs 50-sample survey": result["saving_vs_50_samples"],
+                "paper saving vs 50 samples": result["paper_saving_vs_50_samples"],
+                "saving vs 5-sample survey": result["saving_vs_5_samples"],
+                "paper saving vs 5 samples": result["paper_saving_vs_5_samples"],
+            },
+        )
+    )
+    assert result["iupdater_seconds"] == pytest.approx(55.0, abs=1.0)
+    assert result["traditional_50_samples_minutes"] == pytest.approx(46.9, abs=0.2)
+    assert result["saving_vs_50_samples"] == pytest.approx(0.979, abs=0.01)
+    assert result["saving_vs_5_samples"] == pytest.approx(0.921, abs=0.01)

@@ -1,0 +1,61 @@
+"""Labor-cost planning for large-scale deployments.
+
+The practical selling point of iUpdater is the survey effort it removes.
+This example uses the labor-cost model (Section VI-C / Fig. 20) to answer a
+deployment-planning question: *how long does it take to keep the fingerprint
+database fresh in areas of increasing size, with a traditional full re-survey
+versus iUpdater's reference-only updates?*
+
+Run with::
+
+    python examples/labor_cost_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.simulation.labor import LaborCostConfig, LaborCostModel
+
+
+def main() -> None:
+    model = LaborCostModel(LaborCostConfig())
+
+    # Paper's office numbers: 94 grids, 8 reference locations.
+    traditional = model.traditional_cost(94)
+    iupdater = model.iupdater_cost(8)
+    print("Office (94 grids, 8 reference locations)")
+    print(f"  traditional full re-survey : {traditional.minutes:6.1f} min")
+    print(f"  iUpdater update            : {iupdater.seconds:6.1f} s")
+    print(f"  saving                     : {model.saving_fraction(94, 8) * 100:5.1f} %")
+    print(
+        "  saving vs 5-sample survey  : "
+        f"{model.saving_fraction(94, 8, traditional_samples=5) * 100:5.1f} %"
+    )
+
+    # Scaling the monitored area (Fig. 20): grids grow with the square of the
+    # edge length, reference locations only with the number of links.
+    print("\nScaling the monitored area (hours per database refresh)")
+    print(f"{'edge scale':>11} {'grids':>8} {'traditional':>13} {'iUpdater':>10}")
+    curves = model.cost_versus_area(
+        base_edge_locations=94, base_reference_locations=8, scale_factors=range(1, 11)
+    )
+    for scale, traditional_hours, iupdater_hours in zip(
+        curves["scale_factors"], curves["traditional_hours"], curves["iupdater_hours"]
+    ):
+        grids = int(round(94 * scale * scale))
+        print(
+            f"{scale:>11.0f} {grids:>8d} {traditional_hours:>13.2f} {iupdater_hours:>10.3f}"
+        )
+
+    # Weekly maintenance budget for a shopping-mall-sized deployment.
+    scale = 6
+    weekly_traditional = curves["traditional_hours"][scale - 1] * 7
+    weekly_iupdater = curves["iupdater_hours"][scale - 1] * 7
+    print(
+        f"\nKeeping a {scale}x-edge deployment fresh with daily updates costs "
+        f"{weekly_traditional:.1f} person-hours per week traditionally versus "
+        f"{weekly_iupdater:.2f} with iUpdater."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Long-term maintenance of an office deployment over three months.
+
+Reproduces the paper's maintenance scenario: a fingerprint database is built
+once, and over the following three months the environment drifts.  At each
+of the paper's survey points (3, 5, 15, 45, 90 days) the operator re-measures
+only the MIC reference locations and lets iUpdater reconstruct the full
+database.  The script reports, per time stamp:
+
+* the drift of the true fingerprints relative to day 0,
+* the reconstruction error of the updated database, and
+* the median localization error using the stale, updated, and fresh matrices.
+
+Run with::
+
+    python examples/office_long_term_update.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CampaignConfig, OMPLocalizer, SurveyCampaign, office_environment
+from repro.localization.metrics import summarize_errors
+from repro.simulation.collector import CollectionConfig
+
+
+def median_localization_error(campaign, matrix, test_indices, measurements) -> float:
+    """Median localization error (metres) for pre-drawn online measurements."""
+    locations = campaign.deployment.location_array()
+    localizer = OMPLocalizer(matrix, locations)
+    errors = []
+    for row, true_index in zip(measurements, test_indices):
+        estimate = localizer.localize_point(row)
+        errors.append(float(np.linalg.norm(estimate - locations[int(true_index)])))
+    return summarize_errors(errors).median_m
+
+
+def main() -> None:
+    campaign = SurveyCampaign(
+        office_environment(),
+        CampaignConfig(
+            timestamps_days=(0.0, 3.0, 5.0, 15.0, 45.0, 90.0),
+            collection=CollectionConfig(survey_samples=8, reference_samples=5),
+            seed=7,
+        ),
+    )
+    original = campaign.database.original
+    updater = campaign.make_updater()
+    test_indices = campaign.sample_test_locations(40)
+
+    print("Office deployment, 3-month maintenance schedule")
+    print(f"Reference locations re-measured per update: {len(updater.reference_indices)}")
+    print()
+    header = (
+        f"{'day':>5} {'drift[dB]':>10} {'recon err[dB]':>14} "
+        f"{'stale med[m]':>13} {'updated med[m]':>15} {'fresh med[m]':>13}"
+    )
+    print(header)
+
+    for days in (3.0, 5.0, 15.0, 45.0, 90.0):
+        ground_truth = campaign.ground_truth(days)
+        drift = np.mean(np.abs(ground_truth.values - original.values))
+        result = campaign.run_update(days, updater=updater)
+        recon_error = result.matrix.reconstruction_error_db(ground_truth)
+
+        measurements = campaign.online_measurements(test_indices, days)
+        stale_median = median_localization_error(campaign, original, test_indices, measurements)
+        updated_median = median_localization_error(
+            campaign, result.matrix, test_indices, measurements
+        )
+        fresh_median = median_localization_error(
+            campaign, ground_truth, test_indices, measurements
+        )
+        print(
+            f"{days:>5.0f} {drift:>10.2f} {recon_error:>14.2f} "
+            f"{stale_median:>13.2f} {updated_median:>15.2f} {fresh_median:>13.2f}"
+        )
+
+    print(
+        "\nThe updated database tracks the fresh survey at a fraction of the "
+        "labor cost, while the stale database degrades as the drift grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: update a stale fingerprint database and localize a target.
+
+This walks through the full iUpdater pipeline on the simulated office
+testbed:
+
+1. simulate the deployment and survey the original fingerprint database,
+2. 45 days later, collect only the no-decrease measurements (nobody present)
+   plus fresh RSS at the 8 MIC reference locations,
+3. reconstruct the whole fingerprint matrix with the self-augmented RSVD,
+4. localize a person from a single online RSS vector with OMP, and
+5. compare against the stale database and a fresh full survey.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CampaignConfig, OMPLocalizer, SurveyCampaign, office_environment
+from repro.simulation.collector import CollectionConfig
+
+
+def main() -> None:
+    # ---------------------------------------------------------------- setup
+    spec = office_environment()
+    campaign = SurveyCampaign(
+        spec,
+        CampaignConfig(
+            timestamps_days=(0.0, 45.0),
+            collection=CollectionConfig(survey_samples=10, reference_samples=5),
+            seed=42,
+        ),
+    )
+    print(f"Environment: {spec.name} ({spec.width_m} m x {spec.height_m} m)")
+    print(f"Links: {spec.link_count}, grid locations: {spec.total_locations}")
+
+    original = campaign.database.original
+    ground_truth_45 = campaign.ground_truth(45.0)
+    drift = np.mean(np.abs(ground_truth_45.values - original.values))
+    print(f"\nAfter 45 days the fingerprints drifted by {drift:.2f} dB on average.")
+
+    # ------------------------------------------------------------- update DB
+    updater = campaign.make_updater()
+    print(f"\nMIC reference locations to re-measure: {list(updater.reference_indices)}")
+    print(
+        f"That is {len(updater.reference_indices)} of "
+        f"{spec.total_locations} locations (labor saving > 90 %)."
+    )
+
+    result = campaign.run_update(45.0, updater=updater)
+    updated_error = result.matrix.reconstruction_error_db(ground_truth_45)
+    stale_error = original.reconstruction_error_db(ground_truth_45)
+    print(f"\nReconstruction error vs fresh survey: {updated_error:.2f} dB")
+    print(f"Stale database error vs fresh survey : {stale_error:.2f} dB")
+
+    # ------------------------------------------------------------ localization
+    locations = campaign.deployment.location_array()
+    localizer_updated = OMPLocalizer(result.matrix, locations)
+    localizer_stale = OMPLocalizer(original, locations)
+
+    true_location = 37  # a grid index in the middle of the area
+    online = campaign.collector.online_measurement(true_location, elapsed_days=45.0)
+
+    estimate_updated = localizer_updated.localize_point(online)
+    estimate_stale = localizer_stale.localize_point(online)
+    truth = locations[true_location]
+    print(f"\nTrue target location       : ({truth[0]:.2f}, {truth[1]:.2f}) m")
+    print(
+        "Estimate with updated DB   : "
+        f"({estimate_updated[0]:.2f}, {estimate_updated[1]:.2f}) m, "
+        f"error {np.linalg.norm(estimate_updated - truth):.2f} m"
+    )
+    print(
+        "Estimate with stale DB     : "
+        f"({estimate_stale[0]:.2f}, {estimate_stale[1]:.2f}) m, "
+        f"error {np.linalg.norm(estimate_stale - truth):.2f} m"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Reproduction of the iUpdater device-free localization system (ICDCS 2017).
+
+The package is organised around the paper's pipeline:
+
+* :mod:`repro.rf` and :mod:`repro.environments` provide the simulated radio
+  substrate that stands in for the paper's physical Wi-Fi testbeds.
+* :mod:`repro.fingerprint` holds the fingerprint matrix machinery.
+* :mod:`repro.core` implements the paper's contribution: MIC selection,
+  low-rank representation, the basic and self-augmented RSVD solvers and the
+  high-level :class:`~repro.core.updater.IUpdater` pipeline.
+* :mod:`repro.localization` implements the OMP localizer and the KNN / SVR /
+  RASS baselines.
+* :mod:`repro.simulation` drives multi-timestamp survey campaigns and the
+  labor-cost model.
+* :mod:`repro.experiments` regenerates every figure of the paper's
+  evaluation section.
+"""
+
+from repro.core.updater import IUpdater, UpdaterConfig, UpdateResult
+from repro.environments import (
+    build_deployment,
+    hall_environment,
+    library_environment,
+    office_environment,
+)
+from repro.fingerprint.matrix import FingerprintMatrix
+from repro.fingerprint.database import FingerprintDatabase
+from repro.localization.omp import OMPLocalizer
+from repro.simulation.campaign import SurveyCampaign, CampaignConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IUpdater",
+    "UpdaterConfig",
+    "UpdateResult",
+    "FingerprintMatrix",
+    "FingerprintDatabase",
+    "OMPLocalizer",
+    "SurveyCampaign",
+    "CampaignConfig",
+    "office_environment",
+    "library_environment",
+    "hall_environment",
+    "build_deployment",
+    "__version__",
+]

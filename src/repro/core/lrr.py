@@ -1,0 +1,182 @@
+"""Low-rank representation (LRR): the inherent correlation matrix Z.
+
+iUpdater captures how each fingerprint column relates to the MIC (reference)
+columns by solving the LRR problem of Section IV-B (Eq. 12)::
+
+    min_{Z, E}  ||Z||_* + epsilon * ||E||_{2,1}
+    s.t.        X = X_MIC @ Z + E
+
+``Z`` (size ``n_ref x N``) is the *inherent correlation matrix*; ``E``
+absorbs column-sparse corruption so the correlation is robust to noisy or
+outlying fingerprints.  At update time the fresh reference measurements
+``X_R`` are combined with ``Z`` to predict the whole matrix as
+``P = X_R @ Z``, which becomes Constraint 1 of the self-augmented RSVD.
+
+The solver is the inexact Augmented Lagrange Multiplier (ALM) method that is
+standard for LRR: alternate a singular-value-thresholding step for an
+auxiliary nuclear-norm variable ``J``, a linear solve for ``Z``, an ``l2,1``
+column-shrinkage step for ``E``, and dual updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.linalg import l21_column_shrink, singular_value_threshold
+from repro.utils.validation import check_2d
+
+__all__ = ["LRRConfig", "LRRResult", "low_rank_representation"]
+
+
+@dataclass(frozen=True)
+class LRRConfig:
+    """Configuration of the inexact-ALM LRR solver.
+
+    Attributes
+    ----------
+    epsilon:
+        Weight of the ``l2,1`` error term (the paper's positive constant that
+        "adjusts the percentage of the two parts").
+    max_iterations:
+        Iteration cap for the ALM loop.
+    tolerance:
+        Convergence threshold on the primal residuals (relative to the
+        Frobenius norm of ``X``).
+    mu_initial, mu_max, rho:
+        Penalty parameter schedule of the augmented Lagrangian.
+    """
+
+    epsilon: float = 0.1
+    max_iterations: int = 300
+    tolerance: float = 1e-6
+    mu_initial: float = 1e-2
+    mu_max: float = 1e6
+    rho: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.mu_initial <= 0 or self.mu_max <= self.mu_initial:
+            raise ValueError("require 0 < mu_initial < mu_max")
+        if self.rho <= 1:
+            raise ValueError("rho must exceed 1")
+
+
+@dataclass(frozen=True)
+class LRRResult:
+    """Outcome of the LRR solve.
+
+    Attributes
+    ----------
+    correlation:
+        The correlation matrix ``Z`` of shape ``(n_ref, N)``.
+    error:
+        The column-sparse error matrix ``E`` of shape ``(M, N)``.
+    iterations:
+        Number of ALM iterations executed.
+    converged:
+        Whether the primal residuals fell below the tolerance.
+    residual:
+        Final relative primal residual.
+    """
+
+    correlation: np.ndarray
+    error: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+
+    def predict(self, reference_matrix: np.ndarray) -> np.ndarray:
+        """Predict the full matrix from fresh reference columns: ``X_R @ Z``."""
+        reference_matrix = np.asarray(reference_matrix, dtype=float)
+        if reference_matrix.shape[1] != self.correlation.shape[0]:
+            raise ValueError(
+                "reference matrix has "
+                f"{reference_matrix.shape[1]} columns but Z expects "
+                f"{self.correlation.shape[0]}"
+            )
+        return reference_matrix @ self.correlation
+
+
+def low_rank_representation(
+    matrix: np.ndarray,
+    dictionary: np.ndarray,
+    config: Optional[LRRConfig] = None,
+) -> LRRResult:
+    """Solve the LRR problem ``min ||Z||_* + eps ||E||_{2,1}`` s.t. ``X = D Z + E``.
+
+    Parameters
+    ----------
+    matrix:
+        The data matrix ``X`` (``M x N``), here the fingerprint matrix at the
+        original (or latest-updated) time.
+    dictionary:
+        The dictionary ``D`` (``M x n_ref``), here the MIC columns
+        ``X_MIC``.
+    config:
+        Solver configuration; defaults are adequate for fingerprint-sized
+        problems (8 x ~100).
+    """
+    x = check_2d(matrix, "matrix")
+    d = check_2d(dictionary, "dictionary")
+    if d.shape[0] != x.shape[0]:
+        raise ValueError("dictionary and matrix must have the same number of rows")
+    cfg = config or LRRConfig()
+
+    n_ref = d.shape[1]
+    n = x.shape[1]
+
+    z = np.zeros((n_ref, n))
+    j = np.zeros((n_ref, n))
+    e = np.zeros_like(x)
+    y1 = np.zeros_like(x)       # multiplier for X = D Z + E
+    y2 = np.zeros((n_ref, n))   # multiplier for Z = J
+
+    mu = cfg.mu_initial
+    dtd = d.T @ d
+    identity = np.eye(n_ref)
+    x_norm = max(np.linalg.norm(x), 1e-12)
+
+    converged = False
+    residual = np.inf
+    iterations = 0
+    for iterations in range(1, cfg.max_iterations + 1):
+        # J update: nuclear-norm proximal step on Z + Y2/mu.
+        j = singular_value_threshold(z + y2 / mu, 1.0 / mu)
+
+        # Z update: ridge-like linear solve.
+        rhs = d.T @ (x - e) + j + (d.T @ y1 - y2) / mu
+        z = np.linalg.solve(dtd + identity, rhs)
+
+        # E update: l2,1 shrinkage.
+        e = l21_column_shrink(x - d @ z + y1 / mu, cfg.epsilon / mu)
+
+        # Dual updates.
+        primal1 = x - d @ z - e
+        primal2 = z - j
+        y1 = y1 + mu * primal1
+        y2 = y2 + mu * primal2
+        mu = min(cfg.rho * mu, cfg.mu_max)
+
+        residual = max(
+            np.linalg.norm(primal1) / x_norm,
+            np.linalg.norm(primal2) / max(np.linalg.norm(z), 1e-12),
+        )
+        if residual < cfg.tolerance:
+            converged = True
+            break
+
+    return LRRResult(
+        correlation=z,
+        error=e,
+        iterations=iterations,
+        converged=converged,
+        residual=float(residual),
+    )

@@ -1,0 +1,16 @@
+"""Deployment environments matching the paper's three testbeds."""
+
+from repro.environments.base import Deployment, EnvironmentSpec
+from repro.environments.builder import build_deployment
+from repro.environments.hall import hall_environment
+from repro.environments.library import library_environment
+from repro.environments.office import office_environment
+
+__all__ = [
+    "Deployment",
+    "EnvironmentSpec",
+    "build_deployment",
+    "office_environment",
+    "library_environment",
+    "hall_environment",
+]

@@ -1,0 +1,41 @@
+"""The hall environment (10 m x 10 m, 8 links, 120 effective grids).
+
+The paper's empty hall has mostly line-of-sight links and therefore low
+multipath.  120 grids over 8 links gives exactly 15 grid locations per link
+stripe.
+"""
+
+from __future__ import annotations
+
+from repro.environments.base import EnvironmentSpec
+from repro.rf.channel import ChannelConfig
+from repro.rf.propagation import PropagationConfig
+from repro.rf.variation import VariationConfig
+
+__all__ = ["hall_environment"]
+
+
+def hall_environment(
+    locations_per_link: int = 15,
+    link_count: int = 8,
+    channel_config: ChannelConfig | None = None,
+) -> EnvironmentSpec:
+    """Environment specification for the paper's empty-hall testbed."""
+    if channel_config is None:
+        channel_config = ChannelConfig(
+            propagation=PropagationConfig(path_loss_exponent=2.0, shadowing_std_db=1.5),
+            variation=VariationConfig(
+                short_term_std_db=1.0,
+                outlier_probability=0.04,
+            ),
+        )
+    return EnvironmentSpec(
+        name="hall",
+        width_m=10.0,
+        height_m=10.0,
+        link_count=link_count,
+        locations_per_link=locations_per_link,
+        grid_spacing_m=0.6,
+        multipath_level="low",
+        channel_config=channel_config,
+    )

@@ -1,0 +1,41 @@
+"""The library environment (8 m x 11 m, 6 links, 72 effective grids).
+
+The paper's library is full of metal book racks, producing rich non-line-of-
+sight multipath ("high" level).  72 grids over 6 links gives exactly 12 grid
+locations per link stripe.
+"""
+
+from __future__ import annotations
+
+from repro.environments.base import EnvironmentSpec
+from repro.rf.channel import ChannelConfig
+from repro.rf.propagation import PropagationConfig
+from repro.rf.variation import VariationConfig
+
+__all__ = ["library_environment"]
+
+
+def library_environment(
+    locations_per_link: int = 12,
+    link_count: int = 6,
+    channel_config: ChannelConfig | None = None,
+) -> EnvironmentSpec:
+    """Environment specification for the paper's library testbed."""
+    if channel_config is None:
+        channel_config = ChannelConfig(
+            propagation=PropagationConfig(path_loss_exponent=3.0, shadowing_std_db=3.5),
+            variation=VariationConfig(
+                short_term_std_db=1.5,
+                outlier_probability=0.07,
+            ),
+        )
+    return EnvironmentSpec(
+        name="library",
+        width_m=11.0,
+        height_m=8.0,
+        link_count=link_count,
+        locations_per_link=locations_per_link,
+        grid_spacing_m=0.6,
+        multipath_level="high",
+        channel_config=channel_config,
+    )

@@ -1,0 +1,7 @@
+"""Experiment harness regenerating every figure of the paper's evaluation."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments import figures
+
+__all__ = ["ExperimentConfig", "ExperimentRunner", "figures"]

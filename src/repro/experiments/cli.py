@@ -1,0 +1,131 @@
+"""Command-line interface for the experiment harness.
+
+Lets a downstream user list and run the per-figure experiments without
+writing any code::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli run labor_cost_savings
+    python -m repro.experiments.cli run fig21_localization_cdf --preset full
+
+The output uses the same text formatters as the benchmark harness, so the
+rows can be compared directly against the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import (
+    format_cdf_summary,
+    format_key_values,
+    format_series_table,
+)
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["main", "build_parser", "render_result"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation figures of the iUpdater paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("names", nargs="+", help="experiment names (see 'list')")
+    run_parser.add_argument(
+        "--preset",
+        choices=("quick", "full"),
+        default="quick",
+        help="experiment preset: 'quick' (CI-sized) or 'full' (paper protocol)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override the substrate random seed"
+    )
+    return parser
+
+
+def _is_scalar_mapping(value) -> bool:
+    return isinstance(value, dict) and all(
+        isinstance(v, (int, float, bool, np.floating, np.integer)) for v in value.values()
+    )
+
+
+def _is_series_mapping(value) -> bool:
+    return isinstance(value, dict) and all(isinstance(v, dict) for v in value.values()) and value
+
+
+def _is_sample_mapping(value) -> bool:
+    return isinstance(value, dict) and all(
+        isinstance(v, (list, tuple, np.ndarray)) for v in value.values()
+    ) and value
+
+
+def render_result(name: str, result: dict) -> str:
+    """Render an experiment's result dictionary as plain text."""
+    lines = [f"== {name} =="]
+    scalars = {}
+    for key, value in result.items():
+        if isinstance(value, (int, float, bool, str, np.floating, np.integer)):
+            scalars[key] = value
+        elif _is_scalar_mapping(value):
+            lines.append(format_key_values(key, value))
+        elif _is_series_mapping(value):
+            lines.append(format_series_table(key, value))
+        elif _is_sample_mapping(value):
+            lines.append(format_cdf_summary(key, value))
+        elif isinstance(value, np.ndarray) and value.ndim == 1 and value.size <= 16:
+            scalars[key] = np.array2string(value, precision=3)
+        # Large arrays are omitted from the textual report.
+    if scalars:
+        lines.insert(1, format_key_values("summary", scalars))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.command == "list":
+        for name in ExperimentRunner.available():
+            print(name)
+        return 0
+
+    config = ExperimentConfig.full() if args.preset == "full" else ExperimentConfig.quick()
+    if args.seed is not None:
+        config = ExperimentConfig(
+            timestamps_days=config.timestamps_days,
+            localization_trials=config.localization_trials,
+            seed=args.seed,
+            survey_samples=config.survey_samples,
+            reference_samples=config.reference_samples,
+            online_samples=config.online_samples,
+        )
+    runner = ExperimentRunner(config)
+
+    available = set(ExperimentRunner.available())
+    unknown = [name for name in args.names if name not in available]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print("use 'list' to see the available names", file=sys.stderr)
+        return 2
+
+    for name in args.names:
+        result = runner.run(name)
+        print(render_result(name, result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

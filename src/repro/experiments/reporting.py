@@ -1,0 +1,62 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+The benchmark suite prints the same rows/series the paper reports so the
+reproduction can be compared side by side with the published figures.  These
+formatters keep that output consistent across benchmarks, examples and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_series_table", "format_key_values", "format_cdf_summary"]
+
+
+def format_key_values(title: str, values: Mapping[str, float], unit: str = "") -> str:
+    """Format a flat mapping of labelled scalar results."""
+    lines = [title]
+    width = max((len(str(k)) for k in values), default=0)
+    for key, value in values.items():
+        if isinstance(value, float):
+            rendered = f"{value:.3f}"
+        else:
+            rendered = str(value)
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {str(key):<{width}} : {rendered}{suffix}")
+    return "\n".join(lines)
+
+
+def format_series_table(
+    title: str,
+    series: Mapping[str, Mapping[float, float]],
+    unit: str = "",
+    column_label: str = "days",
+) -> str:
+    """Format a {row-label: {x: value}} mapping as an aligned text table."""
+    columns: list = sorted({x for row in series.values() for x in row})
+    header = f"{'':<36}" + "".join(f"{column_label} {c:>6g}  " for c in columns)
+    lines = [title, header]
+    for label, row in series.items():
+        cells = []
+        for c in columns:
+            value = row.get(c)
+            cells.append(f"{value:>12.3f}" if value is not None else f"{'-':>12}")
+        lines.append(f"{label:<36}" + "".join(cells) + (f"  [{unit}]" if unit else ""))
+    return "\n".join(lines)
+
+
+def format_cdf_summary(title: str, samples: Mapping[str, Sequence[float]]) -> str:
+    """Format median / 80th / 90th percentiles of labelled sample sets."""
+    lines = [title, f"{'':<36}{'median':>10}{'p80':>10}{'p90':>10}"]
+    for label, values in samples.items():
+        array = np.asarray(list(values), dtype=float)
+        lines.append(
+            f"{label:<36}"
+            f"{np.percentile(array, 50):>10.3f}"
+            f"{np.percentile(array, 80):>10.3f}"
+            f"{np.percentile(array, 90):>10.3f}"
+        )
+    return "\n".join(lines)

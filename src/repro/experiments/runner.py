@@ -1,0 +1,71 @@
+"""Experiment runner: execute any subset of the per-figure experiments.
+
+``ExperimentRunner`` wires the experiment functions of
+:mod:`repro.experiments.figures` to a shared :class:`CampaignCache` so the
+expensive ground-truth surveys are built once and reused by every figure.
+The runner is what the benchmark harness, the examples and EXPERIMENTS.md all
+drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import CampaignCache
+
+__all__ = ["ExperimentRunner", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig01_short_term_variation": figures.fig01_short_term_variation,
+    "fig02_long_term_shift": figures.fig02_long_term_shift,
+    "fig05_low_rank": figures.fig05_low_rank,
+    "fig06_difference_stability": figures.fig06_difference_stability,
+    "fig08_nlc_cdf": figures.fig08_nlc_cdf,
+    "fig09_als_cdf": figures.fig09_als_cdf,
+    "fig14_reference_count_cdf": figures.fig14_reference_count_cdf,
+    "fig15_reference_count_over_time": figures.fig15_reference_count_over_time,
+    "fig16_constraint_ablation": figures.fig16_constraint_ablation,
+    "fig17_partial_data": figures.fig17_partial_data,
+    "fig18_reconstruction_cdf": figures.fig18_reconstruction_cdf,
+    "fig19_environments": figures.fig19_environments,
+    "fig20_labor_cost": figures.fig20_labor_cost,
+    "fig21_localization_cdf": figures.fig21_localization_cdf,
+    "fig22_localization_environments": figures.fig22_localization_environments,
+    "fig23_rass_cdf": figures.fig23_rass_cdf,
+    "fig24_rass_over_time": figures.fig24_rass_over_time,
+    "labor_cost_savings": figures.labor_cost_savings,
+}
+"""Registry mapping experiment names to their implementation functions."""
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs registered experiments against a shared campaign cache."""
+
+    config: ExperimentConfig = field(default_factory=ExperimentConfig.quick)
+    cache: Optional[CampaignCache] = None
+
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = CampaignCache(self.config)
+
+    @staticmethod
+    def available() -> list:
+        """Names of all registered experiments."""
+        return sorted(EXPERIMENTS)
+
+    def run(self, name: str, **kwargs) -> dict:
+        """Run a single experiment by name and return its result dictionary."""
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {', '.join(self.available())}"
+            )
+        return EXPERIMENTS[name](self.config, self.cache, **kwargs)
+
+    def run_many(self, names: Optional[Iterable[str]] = None) -> Dict[str, dict]:
+        """Run several experiments (all registered ones by default)."""
+        names = list(names) if names is not None else self.available()
+        return {name: self.run(name) for name in names}

@@ -1,0 +1,13 @@
+"""Fingerprint matrix machinery: matrices, masks and the time-stamped database."""
+
+from repro.fingerprint.database import FingerprintDatabase, TimestampedFingerprint
+from repro.fingerprint.masks import DecreaseClassification, classify_elements
+from repro.fingerprint.matrix import FingerprintMatrix
+
+__all__ = [
+    "FingerprintMatrix",
+    "FingerprintDatabase",
+    "TimestampedFingerprint",
+    "DecreaseClassification",
+    "classify_elements",
+]

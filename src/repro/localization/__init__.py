@@ -1,0 +1,24 @@
+"""Target localization: OMP matching plus KNN / SVR / RASS baselines."""
+
+from repro.localization.knn import KNNLocalizer
+from repro.localization.metrics import (
+    LocalizationReport,
+    localization_errors,
+    summarize_errors,
+)
+from repro.localization.omp import OMPLocalizer, OMPConfig
+from repro.localization.rass import RASSLocalizer, RASSConfig
+from repro.localization.svr import SupportVectorRegressor, SVRConfig
+
+__all__ = [
+    "OMPLocalizer",
+    "OMPConfig",
+    "KNNLocalizer",
+    "SupportVectorRegressor",
+    "SVRConfig",
+    "RASSLocalizer",
+    "RASSConfig",
+    "LocalizationReport",
+    "localization_errors",
+    "summarize_errors",
+]

@@ -1,0 +1,100 @@
+"""K-nearest-neighbour fingerprint matching baseline.
+
+The paper mentions KNN as one of the conventional matchers that the
+non-linear OMP formulation outperforms.  This implementation matches an
+online RSS vector against the fingerprint columns by Euclidean distance and
+returns either the single nearest grid or the (distance-weighted) centroid of
+the ``k`` nearest grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fingerprint.matrix import FingerprintMatrix
+from repro.utils.validation import check_1d, check_2d
+
+__all__ = ["KNNConfig", "KNNLocalizer"]
+
+
+@dataclass(frozen=True)
+class KNNConfig:
+    """Configuration of the KNN matcher.
+
+    Attributes
+    ----------
+    neighbours:
+        Number of nearest fingerprint columns considered.
+    weighted:
+        When True the location estimate is the inverse-distance-weighted
+        centroid of the neighbours; when False the single nearest column
+        wins.
+    center_columns:
+        Remove the per-vector mean before distance computation, making the
+        matcher robust to global RSS offsets.
+    """
+
+    neighbours: int = 3
+    weighted: bool = True
+    center_columns: bool = True
+
+    def __post_init__(self) -> None:
+        if self.neighbours <= 0:
+            raise ValueError("neighbours must be positive")
+
+
+class KNNLocalizer:
+    """Nearest-neighbour matcher over fingerprint columns."""
+
+    def __init__(
+        self,
+        fingerprint: FingerprintMatrix | np.ndarray,
+        locations: Optional[np.ndarray] = None,
+        config: Optional[KNNConfig] = None,
+    ) -> None:
+        values = (
+            fingerprint.values
+            if isinstance(fingerprint, FingerprintMatrix)
+            else np.asarray(fingerprint, dtype=float)
+        )
+        self.dictionary = check_2d(values, "fingerprint")
+        self.locations = None if locations is None else np.asarray(locations, dtype=float)
+        if self.locations is not None and self.locations.shape[0] != self.dictionary.shape[1]:
+            raise ValueError("locations must have one row per fingerprint column")
+        self.config = config or KNNConfig()
+
+    def _distances(self, measurement: np.ndarray) -> np.ndarray:
+        dictionary = self.dictionary
+        vector = measurement.astype(float)
+        if self.config.center_columns:
+            dictionary = dictionary - dictionary.mean(axis=0, keepdims=True)
+            vector = vector - float(vector.mean())
+        return np.linalg.norm(dictionary - vector[:, None], axis=0)
+
+    def localize_index(self, measurement: np.ndarray) -> int:
+        """Grid index of the nearest fingerprint column."""
+        measurement = check_1d(measurement, "measurement")
+        distances = self._distances(measurement)
+        return int(np.argmin(distances))
+
+    def localize_point(self, measurement: np.ndarray) -> np.ndarray:
+        """Estimated coordinates (weighted centroid of the k nearest grids)."""
+        if self.locations is None:
+            raise ValueError("locations were not provided to the localizer")
+        measurement = check_1d(measurement, "measurement")
+        distances = self._distances(measurement)
+        k = min(self.config.neighbours, distances.size)
+        nearest = np.argsort(distances)[:k]
+        if not self.config.weighted or k == 1:
+            return self.locations[nearest[0]].copy()
+        weights = 1.0 / np.maximum(distances[nearest], 1e-9)
+        weights = weights / weights.sum()
+        return (weights[None, :] @ self.locations[nearest]).ravel()
+
+    def localize_batch(self, measurements: np.ndarray) -> np.ndarray:
+        """Localize a batch of measurements; returns grid indices."""
+        measurements = check_2d(measurements, "measurements")
+        return np.array([self.localize_index(row) for row in measurements], dtype=int)

@@ -1,0 +1,34 @@
+"""Simulated radio substrate.
+
+The paper's evaluation runs on physical Wi-Fi testbeds.  This subpackage
+implements the closest synthetic equivalent: a first-principles RSS simulator
+with log-distance path loss, environment-specific multipath, a first-Fresnel-
+zone human-obstruction model, and both short-term and long-term temporal
+variation processes.  See DESIGN.md section 2 for the substitution argument.
+"""
+
+from repro.rf.channel import LinkChannel, ChannelConfig
+from repro.rf.geometry import Link, Point, first_fresnel_radius, point_segment_distance
+from repro.rf.multipath import MultipathField, MultipathConfig
+from repro.rf.propagation import PathLossModel, PropagationConfig
+from repro.rf.target import TargetModel, TargetConfig, ObstructionState
+from repro.rf.variation import ShortTermNoise, LongTermDrift, VariationConfig
+
+__all__ = [
+    "LinkChannel",
+    "ChannelConfig",
+    "Link",
+    "Point",
+    "first_fresnel_radius",
+    "point_segment_distance",
+    "MultipathField",
+    "MultipathConfig",
+    "PathLossModel",
+    "PropagationConfig",
+    "TargetModel",
+    "TargetConfig",
+    "ObstructionState",
+    "ShortTermNoise",
+    "LongTermDrift",
+    "VariationConfig",
+]

@@ -1,0 +1,167 @@
+"""Link-level RSS composition.
+
+``LinkChannel`` composes the propagation, multipath, target-obstruction and
+temporal-variation models into the quantity the rest of the system consumes:
+an RSS reading (dBm) for a link, optionally with a target at a grid location,
+at a given elapsed time, with or without short-term noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.rf.geometry import Link, Point
+from repro.rf.multipath import MultipathConfig, MultipathField
+from repro.rf.propagation import PathLossModel, PropagationConfig
+from repro.rf.target import ObstructionState, TargetConfig, TargetModel
+from repro.rf.variation import LongTermDrift, ShortTermNoise, VariationConfig
+from repro.utils.random import RngLike, make_rng
+
+__all__ = ["ChannelConfig", "LinkChannel"]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Bundle of all physical-layer configuration objects.
+
+    A single ``ChannelConfig`` fully describes the radio behaviour of a
+    deployment; environments differ only in these parameters plus geometry.
+    """
+
+    propagation: PropagationConfig = field(default_factory=PropagationConfig)
+    multipath: MultipathConfig = field(default_factory=MultipathConfig)
+    target: TargetConfig = field(default_factory=TargetConfig)
+    variation: VariationConfig = field(default_factory=VariationConfig)
+    rss_quantization_db: float = 0.5
+    rss_floor_dbm: float = -95.0
+
+    def __post_init__(self) -> None:
+        if self.rss_quantization_db < 0:
+            raise ValueError("rss_quantization_db must be non-negative")
+
+
+class LinkChannel:
+    """RSS generator for one deployment (a set of links in one area)."""
+
+    def __init__(
+        self,
+        links: list[Link],
+        area_width: float,
+        area_height: float,
+        config: Optional[ChannelConfig] = None,
+        seed: RngLike = None,
+    ) -> None:
+        if not links:
+            raise ValueError("links must be non-empty")
+        self.links = list(links)
+        self.config = config or ChannelConfig()
+        self._seed = seed if isinstance(seed, int) else None
+        rng = make_rng(seed)
+        self.path_loss = PathLossModel(self.config.propagation, rng=rng)
+        self.multipath = MultipathField(
+            self.config.multipath, area_width, area_height, rng=rng
+        )
+        self.target_model = TargetModel(self.config.target)
+        self.drift = LongTermDrift(self.config.variation, seed=self._seed or 0)
+        self._noise = ShortTermNoise(self.config.variation, rng=rng)
+
+    @property
+    def link_count(self) -> int:
+        """Number of links in the deployment."""
+        return len(self.links)
+
+    def _quantize(self, rss_dbm: float) -> float:
+        step = self.config.rss_quantization_db
+        if step <= 0:
+            return rss_dbm
+        return round(rss_dbm / step) * step
+
+    def baseline_rss_dbm(self, link_index: int, elapsed_days: float = 0.0) -> float:
+        """Target-free mean RSS of a link at a given elapsed time (no noise)."""
+        link = self.links[link_index]
+        rss = self.path_loss.baseline_rss_dbm(link.length, link_index)
+        rss += self.multipath.static_offset_db(link)
+        rss += self.drift.total_shift_db(link_index, link.midpoint(), elapsed_days)
+        return max(rss, self.config.rss_floor_dbm)
+
+    def mean_rss_dbm(
+        self,
+        link_index: int,
+        target_location: Optional[Point] = None,
+        elapsed_days: float = 0.0,
+    ) -> float:
+        """Noise-free mean RSS of a link with an optional target present."""
+        link = self.links[link_index]
+        rss = self.path_loss.baseline_rss_dbm(link.length, link_index)
+        rss += self.multipath.static_offset_db(link)
+        if target_location is not None:
+            rss -= self.target_model.attenuation_db(link, target_location)
+            rss += self.multipath.target_offset_db(link, target_location)
+            drift_point = target_location
+        else:
+            drift_point = link.midpoint()
+        rss += self.drift.total_shift_db(link_index, drift_point, elapsed_days)
+        return max(rss, self.config.rss_floor_dbm)
+
+    def measure_rss_dbm(
+        self,
+        link_index: int,
+        target_location: Optional[Point] = None,
+        elapsed_days: float = 0.0,
+        with_noise: bool = True,
+    ) -> float:
+        """One RSS sample (optionally noisy and quantised to 0.5 dB)."""
+        rss = self.mean_rss_dbm(link_index, target_location, elapsed_days)
+        if with_noise:
+            rss += self._noise.sample()
+        return self._quantize(max(rss, self.config.rss_floor_dbm))
+
+    def measure_vector(
+        self,
+        target_location: Optional[Point] = None,
+        elapsed_days: float = 0.0,
+        samples: int = 1,
+        with_noise: bool = True,
+    ) -> np.ndarray:
+        """RSS vector across all links, averaged over ``samples`` readings.
+
+        This is the quantity a survey collects at one grid location (one
+        fingerprint-matrix column) or the online measurement used for
+        localization.
+        """
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        readings = np.zeros((samples, self.link_count), dtype=float)
+        for s in range(samples):
+            for i in range(self.link_count):
+                readings[s, i] = self.measure_rss_dbm(
+                    i, target_location, elapsed_days, with_noise
+                )
+        return readings.mean(axis=0)
+
+    def obstruction_state(self, link_index: int, location: Point) -> ObstructionState:
+        """Expose the target model's link/location classification."""
+        return self.target_model.obstruction_state(self.links[link_index], location)
+
+    def rss_time_series(
+        self,
+        link_index: int,
+        duration_s: float,
+        sample_interval_s: float = 0.5,
+        target_location: Optional[Point] = None,
+        elapsed_days: float = 0.0,
+    ) -> np.ndarray:
+        """Simulate a time series of RSS samples (used for Fig. 1 / Fig. 6)."""
+        if duration_s <= 0 or sample_interval_s <= 0:
+            raise ValueError("duration and sample interval must be positive")
+        count = int(round(duration_s / sample_interval_s))
+        self._noise.reset()
+        series = np.zeros(count, dtype=float)
+        for k in range(count):
+            series[k] = self.measure_rss_dbm(
+                link_index, target_location, elapsed_days, with_noise=True
+            )
+        return series

@@ -1,0 +1,204 @@
+"""Planar geometry primitives: points, links, grids and Fresnel-zone math.
+
+The monitoring area is modelled in 2-D (the paper places transceivers and the
+target's torso at a common 1 m height, so the geometry that matters for
+obstruction is planar).  A *link* is the segment between a transmitter and a
+receiver; the first Fresnel zone (FFZ) around that segment determines whether
+a target affects the link strongly, weakly, or not at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "Link",
+    "SPEED_OF_LIGHT",
+    "WIFI_2G4_FREQUENCY_HZ",
+    "wavelength",
+    "first_fresnel_radius",
+    "point_segment_distance",
+    "projection_parameter",
+    "make_grid_centres",
+]
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in metres per second."""
+
+WIFI_2G4_FREQUENCY_HZ = 2.437e9
+"""Centre frequency of Wi-Fi channel 6, used by the paper's 2.4 GHz links."""
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the 2-D monitoring area (metres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_array(self) -> np.ndarray:
+        """Return the point as a length-2 numpy array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A wireless link between a transmitter and a receiver.
+
+    Attributes
+    ----------
+    index:
+        Zero-based link index (row index in the fingerprint matrix).
+    transmitter, receiver:
+        End points of the link.
+    frequency_hz:
+        Carrier frequency; defaults to Wi-Fi channel 6.
+    """
+
+    index: int
+    transmitter: Point
+    receiver: Point
+    frequency_hz: float = WIFI_2G4_FREQUENCY_HZ
+
+    @property
+    def length(self) -> float:
+        """Distance between transmitter and receiver in metres."""
+        return self.transmitter.distance_to(self.receiver)
+
+    @property
+    def wavelength(self) -> float:
+        """Carrier wavelength in metres."""
+        return wavelength(self.frequency_hz)
+
+    def midpoint(self) -> Point:
+        """Geometric midpoint of the link."""
+        return Point(
+            (self.transmitter.x + self.receiver.x) / 2.0,
+            (self.transmitter.y + self.receiver.y) / 2.0,
+        )
+
+    def distance_from(self, location: Point) -> float:
+        """Perpendicular distance from ``location`` to the link segment."""
+        return point_segment_distance(location, self.transmitter, self.receiver)
+
+    def along_fraction(self, location: Point) -> float:
+        """Normalised projection of ``location`` onto the link (clipped to [0, 1]).
+
+        0 corresponds to the transmitter, 1 to the receiver.  Used to place
+        the location-dependent obstruction profile along the link.
+        """
+        return projection_parameter(location, self.transmitter, self.receiver)
+
+    def fresnel_radius_at(self, location: Point) -> float:
+        """First-Fresnel-zone radius of the link at the projection of ``location``."""
+        fraction = self.along_fraction(location)
+        d1 = fraction * self.length
+        d2 = (1.0 - fraction) * self.length
+        return first_fresnel_radius(d1, d2, self.wavelength)
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Wavelength in metres for a given carrier frequency."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def first_fresnel_radius(d1: float, d2: float, wavelength_m: float) -> float:
+    """Radius of the first Fresnel zone at distances ``d1`` and ``d2`` from the ends.
+
+    ``r = sqrt(lambda * d1 * d2 / (d1 + d2))``.  At the link's end points the
+    radius is zero, which matches the physical intuition that standing right
+    next to a transceiver always blocks the link.
+    """
+    if d1 < 0 or d2 < 0:
+        raise ValueError("distances along the link must be non-negative")
+    total = d1 + d2
+    if total == 0:
+        return 0.0
+    return math.sqrt(max(wavelength_m * d1 * d2 / total, 0.0))
+
+
+def projection_parameter(location: Point, start: Point, end: Point) -> float:
+    """Projection of ``location`` onto segment ``start``-``end`` normalised to [0, 1]."""
+    sx, sy = start.x, start.y
+    ex, ey = end.x, end.y
+    px, py = location.x, location.y
+    seg_dx, seg_dy = ex - sx, ey - sy
+    seg_len_sq = seg_dx**2 + seg_dy**2
+    if seg_len_sq == 0:
+        return 0.0
+    t = ((px - sx) * seg_dx + (py - sy) * seg_dy) / seg_len_sq
+    return min(1.0, max(0.0, t))
+
+
+def point_segment_distance(location: Point, start: Point, end: Point) -> float:
+    """Shortest distance from ``location`` to the segment ``start``-``end``."""
+    t = projection_parameter(location, start, end)
+    closest = Point(start.x + t * (end.x - start.x), start.y + t * (end.y - start.y))
+    return location.distance_to(closest)
+
+
+def make_grid_centres(
+    width: float,
+    height: float,
+    grid_size: float,
+    origin: Tuple[float, float] = (0.0, 0.0),
+    excluded: Sequence[Tuple[float, float, float, float]] = (),
+) -> List[Point]:
+    """Generate grid-cell centres covering a ``width x height`` area.
+
+    Parameters
+    ----------
+    width, height:
+        Dimensions of the monitoring area in metres.
+    grid_size:
+        Edge length of a square grid cell (the paper uses 0.6 m).
+    origin:
+        Coordinates of the area's lower-left corner.
+    excluded:
+        Axis-aligned rectangles ``(x_min, y_min, x_max, y_max)`` that are not
+        part of the effective area (furniture, book racks, ...).  Cells whose
+        centre falls inside an excluded rectangle are dropped, mirroring the
+        paper's "effective area" grids.
+    """
+    if width <= 0 or height <= 0 or grid_size <= 0:
+        raise ValueError("width, height and grid_size must be positive")
+    ox, oy = origin
+    n_cols = int(round(width / grid_size))
+    n_rows = int(round(height / grid_size))
+    centres: List[Point] = []
+    for row in range(n_rows):
+        for col in range(n_cols):
+            cx = ox + (col + 0.5) * grid_size
+            cy = oy + (row + 0.5) * grid_size
+            if any(
+                x_min <= cx <= x_max and y_min <= cy <= y_max
+                for x_min, y_min, x_max, y_max in excluded
+            ):
+                continue
+            centres.append(Point(cx, cy))
+    return centres
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[float, float, float, float]:
+    """Return ``(x_min, y_min, x_max, y_max)`` of a collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("points must be non-empty")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return min(xs), min(ys), max(xs), max(ys)

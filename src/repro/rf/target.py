@@ -1,0 +1,155 @@
+"""Human-target obstruction model.
+
+When a person stands in the monitoring area the RSS of each link changes
+according to where the person is relative to the link (Fig. 3 / Fig. 4 of the
+paper):
+
+* **Blocking the direct path** — large RSS decrease.  The decrease is
+  strongest near the transceivers and weakest at the midpoint of the link,
+  because the first Fresnel zone is narrowest at the ends (Section IV-C.1).
+* **Inside the first Fresnel zone (FFZ) but not blocking** — small decrease.
+* **Outside the FFZ** — essentially no change (these are the *no-decrease*
+  elements that can be measured without a person present).
+
+The model below maps the target location to an attenuation (in dB) per link.
+It is deliberately smooth in the target position so that neighbouring
+locations produce similar attenuation (Observation 2) and parallel adjacent
+links see similar attenuation profiles (Observation 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.rf.geometry import Link, Point
+
+__all__ = ["ObstructionState", "TargetConfig", "TargetModel"]
+
+
+class ObstructionState(str, Enum):
+    """Qualitative effect of the target on a link."""
+
+    BLOCKING = "blocking"
+    FRESNEL = "fresnel"
+    OUTSIDE = "outside"
+
+
+@dataclass(frozen=True)
+class TargetConfig:
+    """Parameters of the human obstruction model.
+
+    Attributes
+    ----------
+    body_radius_m:
+        Effective radius of the human body cross-section (a 1.72 m person
+        has a torso roughly 0.35-0.4 m across).
+    blocking_attenuation_db:
+        Peak attenuation when the body fully blocks the link near a
+        transceiver.
+    midpoint_attenuation_db:
+        Attenuation when blocking the link at its midpoint, where the Fresnel
+        zone is widest and the body obstructs a smaller fraction of it.
+    fresnel_attenuation_db:
+        Attenuation scale when the target is inside the FFZ but not blocking.
+    fresnel_margin:
+        Multiple of the FFZ radius within which the target still has a small
+        effect.
+    outside_epsilon_db:
+        Residual attenuation outside the FFZ (effectively measurement-level).
+    asymmetry:
+        Transmitter/receiver asymmetry of the obstruction profile.  Real
+        links are not perfectly symmetric (the near-transmitter antenna
+        pattern and the body's orientation differ from the receiver side);
+        a positive value strengthens attenuation on the transmitter half of
+        the link and weakens it on the receiver half, which also removes the
+        artificial mirror ambiguity a perfectly symmetric profile would give
+        the localizer.
+    """
+
+    body_radius_m: float = 0.2
+    blocking_attenuation_db: float = 9.0
+    midpoint_attenuation_db: float = 4.5
+    fresnel_attenuation_db: float = 1.8
+    fresnel_margin: float = 2.5
+    outside_epsilon_db: float = 0.05
+    asymmetry: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.body_radius_m <= 0:
+            raise ValueError("body_radius_m must be positive")
+        if self.blocking_attenuation_db < self.midpoint_attenuation_db:
+            raise ValueError(
+                "blocking_attenuation_db must be >= midpoint_attenuation_db "
+                "(the paper observes larger decreases near the transceivers)"
+            )
+        if self.fresnel_margin < 1.0:
+            raise ValueError("fresnel_margin must be >= 1")
+        if not -1.0 < self.asymmetry < 1.0:
+            raise ValueError("asymmetry must lie in (-1, 1)")
+
+
+class TargetModel:
+    """Maps a target location to per-link attenuation."""
+
+    def __init__(self, config: TargetConfig | None = None) -> None:
+        self.config = config or TargetConfig()
+
+    def obstruction_state(self, link: Link, location: Point) -> ObstructionState:
+        """Classify the target's effect on ``link`` (blocking / FFZ / outside)."""
+        distance = link.distance_from(location)
+        fresnel = max(link.fresnel_radius_at(location), 1e-6)
+        if distance <= self.config.body_radius_m + 0.5 * fresnel:
+            return ObstructionState.BLOCKING
+        if distance <= self.config.body_radius_m + self.config.fresnel_margin * fresnel:
+            return ObstructionState.FRESNEL
+        return ObstructionState.OUTSIDE
+
+    def attenuation_db(self, link: Link, location: Point) -> float:
+        """Attenuation (positive dB) the target causes on ``link``.
+
+        The blocking attenuation follows the paper's description of the RSS
+        profile along a link: strongest close to the transceivers, weakest at
+        the midpoint, varying smoothly in between.  Off the direct path the
+        attenuation decays with the ratio of the lateral offset to the local
+        Fresnel-zone radius.
+        """
+        state = self.obstruction_state(link, location)
+        if state is ObstructionState.OUTSIDE:
+            return self.config.outside_epsilon_db
+
+        fraction = link.along_fraction(location)
+        # Profile along the link: 1.0 at the ends, dipping at the midpoint.
+        end_weight = abs(2.0 * fraction - 1.0)  # 1 at ends, 0 at midpoint
+        peak = (
+            self.config.midpoint_attenuation_db
+            + (self.config.blocking_attenuation_db - self.config.midpoint_attenuation_db)
+            * end_weight
+        )
+        # Transmitter/receiver asymmetry: stronger on the TX half (fraction
+        # near 0), weaker on the RX half (fraction near 1).
+        asym_factor = 1.0 + self.config.asymmetry * (1.0 - 2.0 * fraction)
+        peak *= max(asym_factor, 0.1)
+
+        distance = link.distance_from(location)
+        fresnel = max(link.fresnel_radius_at(location), 1e-6)
+        lateral_scale = self.config.body_radius_m + fresnel
+
+        if state is ObstructionState.BLOCKING:
+            # Smooth decay from the peak as the body moves off the exact path.
+            decay = math.exp(-((distance / lateral_scale) ** 2))
+            return float(max(peak * decay, self.config.fresnel_attenuation_db))
+
+        # Inside the FFZ but not blocking: a small decrease that fades towards
+        # the edge of the (margin-expanded) Fresnel zone.
+        outer = self.config.body_radius_m + self.config.fresnel_margin * fresnel
+        inner = self.config.body_radius_m + 0.5 * fresnel
+        span = max(outer - inner, 1e-6)
+        closeness = max(0.0, min(1.0, (outer - distance) / span))
+        return float(
+            max(
+                self.config.fresnel_attenuation_db * closeness * max(asym_factor, 0.1),
+                self.config.outside_epsilon_db,
+            )
+        )

@@ -1,0 +1,14 @@
+"""Survey campaigns, measurement collection and the labor-cost model."""
+
+from repro.simulation.campaign import CampaignConfig, SurveyCampaign
+from repro.simulation.collector import MeasurementCollector, CollectionConfig
+from repro.simulation.labor import LaborCostModel, LaborCostConfig
+
+__all__ = [
+    "SurveyCampaign",
+    "CampaignConfig",
+    "MeasurementCollector",
+    "CollectionConfig",
+    "LaborCostModel",
+    "LaborCostConfig",
+]

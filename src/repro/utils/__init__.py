@@ -1,0 +1,34 @@
+"""Shared utilities: linear algebra helpers, CDF tools, RNG management."""
+
+from repro.utils.cdf import empirical_cdf, percentile, median
+from repro.utils.linalg import (
+    frobenius_norm,
+    masked_frobenius_error,
+    normalized_singular_values,
+    relative_energy,
+    safe_solve,
+)
+from repro.utils.random import make_rng, spawn_rngs
+from repro.utils.validation import (
+    check_2d,
+    check_matching_shapes,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "empirical_cdf",
+    "percentile",
+    "median",
+    "frobenius_norm",
+    "masked_frobenius_error",
+    "normalized_singular_values",
+    "relative_energy",
+    "safe_solve",
+    "make_rng",
+    "spawn_rngs",
+    "check_2d",
+    "check_matching_shapes",
+    "check_positive",
+    "check_probability",
+]

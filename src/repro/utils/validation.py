@@ -1,0 +1,119 @@
+"""Input-validation helpers shared by the numerical modules.
+
+All public solvers in :mod:`repro.core` and :mod:`repro.localization` accept
+plain numpy arrays.  These helpers keep the argument checking explicit and
+uniform so that misuse fails fast with a clear message instead of producing a
+shape error deep inside an alternating-least-squares loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_2d",
+    "check_1d",
+    "check_matching_shapes",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_index",
+    "as_float_array",
+]
+
+
+def as_float_array(value, name: str = "array") -> np.ndarray:
+    """Convert ``value`` to a float64 numpy array.
+
+    Raises
+    ------
+    TypeError
+        If the value cannot be converted to a numeric array.
+    """
+    try:
+        array = np.asarray(value, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be convertible to a float array") from exc
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains NaN or infinite entries")
+    return array
+
+
+def check_2d(array: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``array`` is a finite 2-D float matrix and return it."""
+    array = as_float_array(array, name)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return array
+
+
+def check_1d(array: np.ndarray, name: str = "vector") -> np.ndarray:
+    """Validate that ``array`` is a finite 1-D float vector and return it."""
+    array = as_float_array(array, name)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return array
+
+
+def check_matching_shapes(
+    first: np.ndarray,
+    second: np.ndarray,
+    first_name: str = "first",
+    second_name: str = "second",
+) -> None:
+    """Raise ``ValueError`` when two arrays do not share the same shape."""
+    if first.shape != second.shape:
+        raise ValueError(
+            f"{first_name} shape {first.shape} does not match "
+            f"{second_name} shape {second.shape}"
+        )
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a finite, strictly positive scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a finite, non-negative scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0 or value > 1:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_index(index: int, size: int, name: str = "index") -> int:
+    """Validate that ``index`` addresses an element of a length-``size`` axis."""
+    index = int(index)
+    if index < 0 or index >= size:
+        raise ValueError(f"{name} must lie in [0, {size - 1}], got {index}")
+    return index
+
+
+def check_indices(indices: Sequence[int], size: int, name: str = "indices") -> np.ndarray:
+    """Validate a sequence of indices against an axis of length ``size``."""
+    array = np.asarray(list(indices), dtype=int)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D sequence of integers")
+    if array.min() < 0 or array.max() >= size:
+        raise ValueError(f"{name} must lie in [0, {size - 1}]")
+    if len(set(array.tolist())) != array.size:
+        raise ValueError(f"{name} must not contain duplicates")
+    return array

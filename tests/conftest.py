@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small deployments and campaigns (fewer links, shorter
+stripes, few survey samples) so the full suite stays fast while still
+exercising the real code paths end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.environments.base import EnvironmentSpec
+from repro.environments.builder import build_deployment
+from repro.fingerprint.matrix import FingerprintMatrix
+from repro.simulation.campaign import CampaignConfig, SurveyCampaign
+from repro.simulation.collector import CollectionConfig
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> EnvironmentSpec:
+    """A small office-like environment: 4 links, 6 locations per link."""
+    return EnvironmentSpec(
+        name="test-office",
+        width_m=8.0,
+        height_m=6.0,
+        link_count=4,
+        locations_per_link=6,
+        multipath_level="medium",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_deployment(small_spec):
+    """Deterministic deployment built from the small spec."""
+    return build_deployment(small_spec, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_campaign(small_spec) -> SurveyCampaign:
+    """A two-stamp campaign (day 0 and day 45) on the small deployment."""
+    config = CampaignConfig(
+        timestamps_days=(0.0, 45.0),
+        collection=CollectionConfig(survey_samples=4, reference_samples=3, online_samples=2),
+        seed=11,
+    )
+    return SurveyCampaign(small_spec, config)
+
+
+@pytest.fixture(scope="session")
+def small_database(small_campaign):
+    """Ground-truth fingerprint database of the small campaign."""
+    return small_campaign.database
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(123)
+
+
+@pytest.fixture()
+def synthetic_low_rank_matrix(rng) -> np.ndarray:
+    """An exactly rank-3 8x24 matrix with a dominant mean component."""
+    left = rng.normal(size=(8, 3))
+    right = rng.normal(size=(24, 3))
+    return -60.0 + left @ right.T
+
+
+@pytest.fixture()
+def striped_fingerprint(rng) -> FingerprintMatrix:
+    """A synthetic fingerprint matrix with realistic stripe structure."""
+    links, width = 4, 6
+    n = links * width
+    values = np.full((links, n), -60.0)
+    for j in range(n):
+        own = j // width
+        offset = j % width
+        # Large decrease on the own link, shaped along the stripe.
+        values[own, j] -= 6.0 + 3.0 * abs(2.0 * (offset + 0.5) / width - 1.0)
+        # Small decrease on adjacent links.
+        if own - 1 >= 0:
+            values[own - 1, j] -= 1.5
+        if own + 1 < links:
+            values[own + 1, j] -= 1.5
+    values += rng.normal(0.0, 0.2, size=values.shape)
+    return FingerprintMatrix(values=values, locations_per_link=width)

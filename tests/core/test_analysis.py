@@ -1,0 +1,128 @@
+"""Unit tests for :mod:`repro.core.analysis` (Section II diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    als_values,
+    difference_stability,
+    low_rank_report,
+    nlc_values,
+    singular_value_profile,
+)
+
+
+class TestSingularValueProfile:
+    def test_first_value_is_one(self, synthetic_low_rank_matrix):
+        profile = singular_value_profile(synthetic_low_rank_matrix)
+        assert profile[0] == pytest.approx(1.0)
+
+    def test_length_equals_min_dimension(self, synthetic_low_rank_matrix):
+        profile = singular_value_profile(synthetic_low_rank_matrix)
+        assert profile.size == min(synthetic_low_rank_matrix.shape)
+
+
+class TestLowRankReport:
+    def test_fingerprint_matrix_is_approximately_low_rank(self, small_database):
+        report = low_rank_report(small_database.original.values)
+        assert report.approximately_low_rank
+        assert not report.exactly_low_rank
+        assert report.leading_energy_fraction > 0.5
+
+    def test_exactly_low_rank_detection(self, rng):
+        # A rank-1 matrix with many rows: r=1 << M and the energy condition holds.
+        matrix = np.outer(rng.normal(size=20), rng.normal(size=30))
+        report = low_rank_report(matrix, rank=1)
+        assert report.exactly_low_rank
+
+    def test_rank_defaults_to_row_count(self, small_database):
+        matrix = small_database.original.values
+        report = low_rank_report(matrix)
+        assert report.rank == matrix.shape[0]
+
+    def test_rank_energy_at_least_leading_energy(self, small_database):
+        report = low_rank_report(small_database.original.values)
+        assert report.rank_energy_fraction >= report.leading_energy_fraction
+
+
+class TestNLC:
+    def test_length(self, striped_fingerprint):
+        xd = striped_fingerprint.largely_decrease_matrix()
+        assert nlc_values(xd).size == xd.size
+
+    def test_values_in_unit_interval(self, striped_fingerprint):
+        values = nlc_values(striped_fingerprint.largely_decrease_matrix())
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+
+    def test_constant_matrix_gives_zeros(self):
+        xd = np.full((3, 5), -65.0)
+        np.testing.assert_allclose(nlc_values(xd), np.zeros(15))
+
+    def test_smooth_stripes_have_small_nlc(self, small_database):
+        # Observation 2: most NLC values of a real fingerprint matrix are small.
+        xd = small_database.original.largely_decrease_matrix()
+        values = nlc_values(xd)
+        assert np.mean(values < 0.3) > 0.7
+
+    def test_outlier_increases_nlc(self, striped_fingerprint):
+        xd = striped_fingerprint.largely_decrease_matrix()
+        baseline_max = nlc_values(xd).max()
+        xd_outlier = xd.copy()
+        xd_outlier[1, 2] += 20.0
+        assert nlc_values(xd_outlier).max() > baseline_max
+
+
+class TestALS:
+    def test_length(self, striped_fingerprint):
+        xd = striped_fingerprint.largely_decrease_matrix()
+        assert als_values(xd).size == (xd.shape[0] - 1) * xd.shape[1]
+
+    def test_values_in_unit_interval(self, striped_fingerprint):
+        values = als_values(striped_fingerprint.largely_decrease_matrix())
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+
+    def test_identical_links_give_zeros(self):
+        xd = np.tile(np.linspace(-70, -60, 5)[None, :], (4, 1))
+        np.testing.assert_allclose(als_values(xd), np.zeros(15))
+
+    def test_single_link_rejected(self):
+        with pytest.raises(ValueError):
+            als_values(np.zeros((1, 5)))
+
+    def test_adjacent_links_mostly_similar(self, small_database):
+        # Observation 3: a majority of ALS values are well below the maximum
+        # difference.  The small 4-link test deployment has stronger per-link
+        # shadowing differences than the paper's calibrated testbed, so the
+        # threshold is looser here; the office-scale check lives in the
+        # Fig. 9 benchmark.
+        values = als_values(small_database.original.largely_decrease_matrix())
+        assert np.mean(values < 0.7) >= 0.5
+
+
+class TestDifferenceStability:
+    def test_stable_differences_detected(self, rng):
+        base = rng.normal(0.0, 2.0, size=200)
+        neighbour_diff = rng.normal(0.0, 0.3, size=200)
+        adjacent_diff = rng.normal(0.0, 0.4, size=200)
+        stats = difference_stability(base, neighbour_diff, adjacent_diff)
+        assert stats["neighbour_stability_ratio"] < 1.0
+        assert stats["adjacent_stability_ratio"] < 1.0
+        assert stats["rss_span_db"] > stats["neighbour_span_db"]
+
+    def test_keys_present(self, rng):
+        stats = difference_stability(rng.normal(size=10), rng.normal(size=10), rng.normal(size=10))
+        for key in (
+            "rss_span_db",
+            "neighbour_span_db",
+            "adjacent_span_db",
+            "rss_std_db",
+            "neighbour_std_db",
+            "adjacent_std_db",
+        ):
+            assert key in stats
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            difference_stability([], [1.0], [1.0])

@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.core.lrr` (low-rank representation solver)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lrr import LRRConfig, low_rank_representation
+from repro.core.mic import select_reference_locations
+
+
+class TestLRRConfig:
+    def test_defaults_valid(self):
+        LRRConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"max_iterations": 0},
+            {"tolerance": 0.0},
+            {"mu_initial": 0.0},
+            {"mu_initial": 10.0, "mu_max": 1.0},
+            {"rho": 1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LRRConfig(**kwargs)
+
+
+class TestLowRankRepresentation:
+    def test_exact_representation_of_low_rank_matrix(self, rng):
+        left = rng.normal(size=(8, 3))
+        right = rng.normal(size=(24, 3))
+        matrix = left @ right.T
+        mic = select_reference_locations(matrix)
+        result = low_rank_representation(matrix, mic.mic_matrix)
+        prediction = mic.mic_matrix @ result.correlation
+        assert np.abs(prediction - matrix).mean() < 0.15
+
+    def test_correlation_shape(self, rng):
+        matrix = rng.normal(size=(6, 18))
+        dictionary = matrix[:, :5]
+        result = low_rank_representation(matrix, dictionary)
+        assert result.correlation.shape == (5, 18)
+        assert result.error.shape == matrix.shape
+
+    def test_predict_applies_fresh_reference(self, rng):
+        left = rng.normal(size=(6, 3))
+        right = rng.normal(size=(20, 3))
+        matrix = left @ right.T
+        mic = select_reference_locations(matrix)
+        result = low_rank_representation(matrix, mic.mic_matrix)
+        # A global scaling of the matrix scales its reference columns the
+        # same way, so prediction from scaled references recovers the scaled
+        # matrix under the original correlation.
+        scaled_reference = 1.5 * matrix[:, list(mic.indices)]
+        prediction = result.predict(scaled_reference)
+        assert np.abs(prediction - 1.5 * matrix).mean() < 0.3
+
+    def test_predict_rejects_wrong_width(self, rng):
+        matrix = rng.normal(size=(6, 18))
+        result = low_rank_representation(matrix, matrix[:, :5])
+        with pytest.raises(ValueError):
+            result.predict(np.zeros((6, 4)))
+
+    def test_row_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            low_rank_representation(rng.normal(size=(6, 18)), rng.normal(size=(5, 4)))
+
+    def test_column_outliers_absorbed_by_error_term(self, rng):
+        left = rng.normal(size=(8, 3))
+        right = rng.normal(size=(24, 3))
+        matrix = left @ right.T
+        corrupted = matrix.copy()
+        corrupted[:, 7] += 25.0  # one grossly corrupted column
+        mic = select_reference_locations(matrix)
+        result = low_rank_representation(corrupted, mic.mic_matrix, LRRConfig(epsilon=0.05))
+        column_error_norms = np.linalg.norm(result.error, axis=0)
+        assert np.argmax(column_error_norms) == 7
+
+    def test_converges_on_fingerprint_matrix(self, small_database):
+        matrix = small_database.original.values
+        mic = select_reference_locations(matrix)
+        result = low_rank_representation(matrix, mic.mic_matrix)
+        assert result.iterations <= LRRConfig().max_iterations
+        prediction = mic.mic_matrix @ result.correlation
+        assert np.abs(prediction - matrix).mean() < 1.5

@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.core.mic` (reference-location selection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mic import MICResult, numerical_rank, select_reference_locations
+
+
+@pytest.fixture()
+def rank3_matrix(rng):
+    left = rng.normal(size=(8, 3))
+    right = rng.normal(size=(30, 3))
+    return left @ right.T
+
+
+class TestNumericalRank:
+    def test_exact_low_rank(self, rank3_matrix):
+        assert numerical_rank(rank3_matrix) == 3
+
+    def test_full_rank(self, rng):
+        assert numerical_rank(rng.normal(size=(5, 20))) == 5
+
+
+class TestSelection:
+    def test_default_count_equals_rank(self, rank3_matrix):
+        result = select_reference_locations(rank3_matrix)
+        assert result.count == result.rank == 3
+
+    def test_indices_unique_and_in_range(self, rank3_matrix):
+        result = select_reference_locations(rank3_matrix, count=5)
+        assert len(set(result.indices)) == 5
+        assert all(0 <= j < rank3_matrix.shape[1] for j in result.indices)
+
+    def test_mic_matrix_matches_indices(self, rank3_matrix):
+        result = select_reference_locations(rank3_matrix, count=4)
+        np.testing.assert_allclose(result.mic_matrix, rank3_matrix[:, list(result.indices)])
+
+    def test_selected_columns_span_the_matrix(self, rank3_matrix):
+        result = select_reference_locations(rank3_matrix)
+        # Every column of the matrix must be a linear combination of the MIC
+        # columns (that is the defining property the paper relies on).
+        coefficients, residuals, *_ = np.linalg.lstsq(
+            result.mic_matrix, rank3_matrix, rcond=None
+        )
+        reconstruction = result.mic_matrix @ coefficients
+        np.testing.assert_allclose(reconstruction, rank3_matrix, atol=1e-8)
+
+    def test_gauss_strategy_also_spans(self, rank3_matrix):
+        result = select_reference_locations(rank3_matrix, strategy="gauss")
+        coefficients, *_ = np.linalg.lstsq(result.mic_matrix, rank3_matrix, rcond=None)
+        np.testing.assert_allclose(result.mic_matrix @ coefficients, rank3_matrix, atol=1e-8)
+
+    def test_gauss_selects_leftmost_independent_columns(self):
+        # Columns 0 and 1 are independent; column 2 is their sum.
+        matrix = np.array(
+            [[1.0, 0.0, 1.0, 2.0], [0.0, 1.0, 1.0, 0.0], [0.0, 0.0, 0.0, 0.0]]
+        )
+        result = select_reference_locations(matrix, strategy="gauss")
+        assert result.indices == (0, 1)
+
+    def test_count_above_rank_pads_with_extra_columns(self, rank3_matrix):
+        result = select_reference_locations(rank3_matrix, count=6, strategy="gauss")
+        assert result.count == 6
+
+    def test_count_above_columns_rejected(self, rank3_matrix):
+        with pytest.raises(ValueError):
+            select_reference_locations(rank3_matrix, count=99)
+
+    def test_non_positive_count_rejected(self, rank3_matrix):
+        with pytest.raises(ValueError):
+            select_reference_locations(rank3_matrix, count=0)
+
+    def test_unknown_strategy_rejected(self, rank3_matrix):
+        with pytest.raises(ValueError):
+            select_reference_locations(rank3_matrix, strategy="magic")
+
+    def test_reference_count_small_compared_to_locations(self, small_database):
+        # The paper's Claim 1: the number of reference locations equals the
+        # rank (= link count), which is far smaller than the location count.
+        original = small_database.original
+        result = select_reference_locations(original.values)
+        assert result.count <= original.link_count
+        assert result.count < original.location_count
+
+    @given(st.integers(2, 6), st.integers(8, 20), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_low_rank_matrices(self, rows, columns, rank):
+        rng = np.random.default_rng(rows * 100 + columns * 10 + rank)
+        rank = min(rank, rows, columns)
+        matrix = rng.normal(size=(rows, rank)) @ rng.normal(size=(columns, rank)).T
+        result = select_reference_locations(matrix)
+        assert result.count == numerical_rank(matrix)
+        coefficients, *_ = np.linalg.lstsq(result.mic_matrix, matrix, rcond=None)
+        assert np.allclose(result.mic_matrix @ coefficients, matrix, atol=1e-6)

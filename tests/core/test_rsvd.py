@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.core.rsvd` (basic regularized SVD completion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rsvd import RSVDConfig, rsvd_complete
+
+
+def make_low_rank(rng, rows=8, columns=24, rank=3, offset=-60.0):
+    left = rng.normal(size=(rows, rank))
+    right = rng.normal(size=(columns, rank))
+    return offset + left @ right.T
+
+
+class TestRSVDConfig:
+    def test_defaults_valid(self):
+        RSVDConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rank": 0},
+            {"regularization": -1.0},
+            {"max_iterations": 0},
+            {"tolerance": 0.0},
+            {"init_scale": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RSVDConfig(**kwargs)
+
+
+class TestRSVDCompletion:
+    def test_fits_observed_entries(self, rng):
+        matrix = make_low_rank(rng)
+        mask = (rng.random(matrix.shape) < 0.7).astype(float)
+        observed = matrix * mask
+        result = rsvd_complete(observed, mask, RSVDConfig(regularization=0.01), rng=1)
+        observed_error = np.abs((result.estimate - matrix) * mask).sum() / mask.sum()
+        assert observed_error < 0.5
+
+    def test_completes_missing_entries_of_low_rank_matrix(self, rng):
+        matrix = make_low_rank(rng, rank=2)
+        mask = (rng.random(matrix.shape) < 0.8).astype(float)
+        observed = matrix * mask
+        result = rsvd_complete(
+            observed, mask, RSVDConfig(rank=3, regularization=0.5, max_iterations=200), rng=1
+        )
+        missing = mask == 0
+        missing_error = np.abs(result.estimate - matrix)[missing].mean()
+        assert missing_error < 2.0
+
+    def test_factor_shapes(self, rng):
+        matrix = make_low_rank(rng)
+        mask = np.ones_like(matrix)
+        result = rsvd_complete(matrix, mask, RSVDConfig(rank=5), rng=0)
+        assert result.left.shape == (8, 5)
+        assert result.right.shape == (24, 5)
+        assert result.estimate.shape == matrix.shape
+
+    def test_default_rank_is_row_count(self, rng):
+        matrix = make_low_rank(rng)
+        result = rsvd_complete(matrix, np.ones_like(matrix), rng=0)
+        assert result.left.shape[1] == matrix.shape[0]
+
+    def test_objective_finite_and_positive(self, rng):
+        matrix = make_low_rank(rng)
+        mask = np.ones_like(matrix)
+        result = rsvd_complete(matrix, mask, rng=0)
+        assert np.isfinite(result.objective)
+        assert result.objective >= 0.0
+
+    def test_deterministic_given_seed(self, rng):
+        matrix = make_low_rank(rng)
+        mask = (np.arange(matrix.size).reshape(matrix.shape) % 3 != 0).astype(float)
+        a = rsvd_complete(matrix * mask, mask, rng=7)
+        b = rsvd_complete(matrix * mask, mask, rng=7)
+        np.testing.assert_allclose(a.estimate, b.estimate)
+
+    def test_regularization_shrinks_factors(self, rng):
+        matrix = make_low_rank(rng)
+        mask = np.ones_like(matrix)
+        weak = rsvd_complete(matrix, mask, RSVDConfig(regularization=1e-3), rng=1)
+        strong = rsvd_complete(matrix, mask, RSVDConfig(regularization=100.0), rng=1)
+        weak_norm = np.linalg.norm(weak.left) + np.linalg.norm(weak.right)
+        strong_norm = np.linalg.norm(strong.left) + np.linalg.norm(strong.right)
+        assert strong_norm < weak_norm
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rsvd_complete(np.zeros((3, 4)), np.zeros((4, 4)))
+
+    def test_non_binary_mask_rejected(self):
+        with pytest.raises(ValueError):
+            rsvd_complete(np.zeros((3, 4)), np.full((3, 4), 0.5))

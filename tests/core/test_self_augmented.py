@@ -1,0 +1,146 @@
+"""Unit tests for :mod:`repro.core.self_augmented` (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.self_augmented import SelfAugmentedConfig, self_augmented_rsvd
+
+
+def make_problem(rng, links=4, width=6, drift=2.0):
+    """A synthetic fingerprint-update problem with known ground truth."""
+    n = links * width
+    truth = np.full((links, n), -60.0)
+    for j in range(n):
+        own = j // width
+        offset = j % width
+        truth[own, j] -= 6.0 + 2.0 * abs(2.0 * (offset + 0.5) / width - 1.0)
+        if own - 1 >= 0:
+            truth[own - 1, j] -= 1.5
+        if own + 1 < links:
+            truth[own + 1, j] -= 1.5
+    truth += drift * rng.normal(size=(links, 1))  # per-link drift
+    mask = np.zeros((links, n))
+    for j in range(n):
+        own = j // width
+        for i in range(links):
+            if abs(i - own) >= 2:
+                mask[i, j] = 1.0
+    observed = truth * mask
+    return truth, observed, mask
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SelfAugmentedConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rank": 0},
+            {"regularization": -0.1},
+            {"max_iterations": 0},
+            {"tolerance": 0.0},
+            {"reference_weight": -1.0},
+            {"structure_weight": -1.0},
+            {"init_scale": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SelfAugmentedConfig(**kwargs)
+
+
+class TestSolver:
+    def test_prediction_constraint_pins_solution(self, rng):
+        truth, observed, mask = make_problem(rng)
+        prediction = truth + rng.normal(0.0, 0.3, size=truth.shape)
+        result = self_augmented_rsvd(
+            observed, mask, locations_per_link=6, prediction=prediction, rng=1
+        )
+        assert np.abs(result.estimate - truth).mean() < 1.0
+
+    def test_without_constraints_solution_is_ambiguous(self, rng):
+        truth, observed, mask = make_problem(rng)
+        config = SelfAugmentedConfig(
+            use_reference_constraint=False, use_structure_constraint=False
+        )
+        result = self_augmented_rsvd(
+            observed, mask, locations_per_link=6, prediction=None, config=config, rng=1
+        )
+        unconstrained_error = np.abs(result.estimate - truth).mean()
+        constrained = self_augmented_rsvd(
+            observed,
+            mask,
+            locations_per_link=6,
+            prediction=truth + rng.normal(0.0, 0.3, size=truth.shape),
+            rng=1,
+        )
+        constrained_error = np.abs(constrained.estimate - truth).mean()
+        assert constrained_error < unconstrained_error
+
+    def test_structure_constraint_suppresses_outliers(self, rng):
+        truth, observed, mask = make_problem(rng, drift=0.0)
+        # Corrupt the prediction with a single large outlier on a stripe entry.
+        prediction = truth.copy()
+        prediction[1, 1 * 6 + 2] += 12.0
+        with_structure = self_augmented_rsvd(
+            observed, mask, 6, prediction=prediction, rng=1
+        )
+        without_structure = self_augmented_rsvd(
+            observed,
+            mask,
+            6,
+            prediction=prediction,
+            config=SelfAugmentedConfig(use_structure_constraint=False),
+            rng=1,
+        )
+        err_with = np.abs(with_structure.estimate - truth)[1, 8]
+        err_without = np.abs(without_structure.estimate - truth)[1, 8]
+        assert err_with <= err_without + 1e-6
+
+    def test_result_metadata(self, rng):
+        truth, observed, mask = make_problem(rng)
+        result = self_augmented_rsvd(observed, mask, 6, prediction=truth, rng=1)
+        assert result.left.shape[0] == truth.shape[0]
+        assert result.right.shape[0] == truth.shape[1]
+        assert result.iterations >= 1
+        assert result.reference_weight > 0.0
+        assert result.structure_weight > 0.0
+        assert np.isfinite(result.objective)
+
+    def test_weights_zero_when_constraints_disabled(self, rng):
+        truth, observed, mask = make_problem(rng)
+        config = SelfAugmentedConfig(
+            use_reference_constraint=False, use_structure_constraint=False
+        )
+        result = self_augmented_rsvd(observed, mask, 6, config=config, rng=1)
+        assert result.reference_weight == 0.0
+        assert result.structure_weight == 0.0
+
+    def test_deterministic_given_seed(self, rng):
+        truth, observed, mask = make_problem(rng)
+        a = self_augmented_rsvd(observed, mask, 6, prediction=truth, rng=5)
+        b = self_augmented_rsvd(observed, mask, 6, prediction=truth, rng=5)
+        np.testing.assert_allclose(a.estimate, b.estimate)
+
+    def test_explicit_weights_respected(self, rng):
+        truth, observed, mask = make_problem(rng)
+        config = SelfAugmentedConfig(reference_weight=2.5, structure_weight=0.7)
+        result = self_augmented_rsvd(observed, mask, 6, prediction=truth, config=config, rng=1)
+        assert result.reference_weight == 2.5
+        assert result.structure_weight == 0.7
+
+    def test_invalid_stripe_width_rejected(self, rng):
+        truth, observed, mask = make_problem(rng)
+        with pytest.raises(ValueError):
+            self_augmented_rsvd(observed, mask, 5, prediction=truth)
+
+    def test_shape_mismatch_rejected(self, rng):
+        truth, observed, mask = make_problem(rng)
+        with pytest.raises(ValueError):
+            self_augmented_rsvd(observed, mask[:, :-1], 6)
+
+    def test_non_binary_mask_rejected(self, rng):
+        truth, observed, mask = make_problem(rng)
+        with pytest.raises(ValueError):
+            self_augmented_rsvd(observed, mask * 0.5, 6)

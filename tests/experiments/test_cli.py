@@ -1,0 +1,68 @@
+"""Unit tests for the experiment CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import build_parser, main, render_result
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "labor_cost_savings"])
+        assert args.command == "run"
+        assert args.preset == "quick"
+        assert args.names == ["labor_cost_savings"]
+
+    def test_run_command_full_preset(self):
+        args = build_parser().parse_args(
+            ["run", "fig20_labor_cost", "--preset", "full", "--seed", "3"]
+        )
+        assert args.preset == "full"
+        assert args.seed == 3
+
+
+class TestRenderResult:
+    def test_scalars_rendered(self):
+        text = render_result("exp", {"value": 1.5, "flag": True})
+        assert "exp" in text
+        assert "value" in text
+
+    def test_scalar_mapping_rendered(self):
+        text = render_result("exp", {"medians": {"a": 1.0, "b": 2.0}})
+        assert "medians" in text
+        assert "a" in text
+
+    def test_series_mapping_rendered(self):
+        text = render_result("exp", {"series": {"row": {1.0: 2.0}}})
+        assert "row" in text
+
+    def test_sample_mapping_rendered(self):
+        text = render_result("exp", {"errors": {"x": [1.0, 2.0, 3.0]}})
+        assert "median" in text
+
+    def test_large_arrays_omitted(self):
+        text = render_result("exp", {"big": np.zeros(1000)})
+        assert "big" not in text
+
+
+class TestMain:
+    def test_list_exit_code(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "labor_cost_savings" in output
+        assert "fig21_localization_cdf" in output
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "fig99_not_real"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "labor_cost_savings", "fig20_labor_cost"]) == 0
+        output = capsys.readouterr().out
+        assert "labor_cost_savings" in output
+        assert "fig20_labor_cost" in output
+        assert "saving_vs_50_samples" in output

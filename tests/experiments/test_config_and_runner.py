@@ -1,0 +1,111 @@
+"""Unit tests for the experiment configuration, runner and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import CampaignCache
+from repro.experiments.reporting import (
+    format_cdf_summary,
+    format_key_values,
+    format_series_table,
+)
+from repro.experiments.runner import EXPERIMENTS, ExperimentRunner
+
+
+class TestExperimentConfig:
+    def test_quick_preset(self):
+        config = ExperimentConfig.quick()
+        assert config.timestamps_days == (0.0, 45.0)
+        assert config.later_timestamps == (45.0,)
+
+    def test_full_preset_has_all_paper_stamps(self):
+        config = ExperimentConfig.full()
+        assert config.timestamps_days == (0.0, 3.0, 5.0, 15.0, 45.0, 90.0)
+
+    def test_campaign_config_propagates_sampling(self):
+        config = ExperimentConfig(survey_samples=9, reference_samples=4, online_samples=3)
+        campaign_config = config.campaign_config()
+        assert campaign_config.collection.survey_samples == 9
+        assert campaign_config.collection.reference_samples == 4
+        assert campaign_config.collection.online_samples == 3
+
+    def test_environments_present(self):
+        environments = ExperimentConfig.quick().environments()
+        assert set(environments) == {"hall", "office", "library"}
+
+
+class TestCampaignCache:
+    def test_cache_reuses_campaigns(self):
+        cache = CampaignCache(ExperimentConfig.quick())
+        assert cache.campaign("office") is cache.campaign("office")
+
+    def test_unknown_environment_rejected(self):
+        cache = CampaignCache(ExperimentConfig.quick())
+        with pytest.raises(ValueError):
+            cache.campaign("spaceship")
+
+
+class TestRunnerRegistry:
+    def test_all_paper_figures_registered(self):
+        expected = {
+            "fig01_short_term_variation",
+            "fig02_long_term_shift",
+            "fig05_low_rank",
+            "fig06_difference_stability",
+            "fig08_nlc_cdf",
+            "fig09_als_cdf",
+            "fig14_reference_count_cdf",
+            "fig15_reference_count_over_time",
+            "fig16_constraint_ablation",
+            "fig17_partial_data",
+            "fig18_reconstruction_cdf",
+            "fig19_environments",
+            "fig20_labor_cost",
+            "fig21_localization_cdf",
+            "fig22_localization_environments",
+            "fig23_rass_cdf",
+            "fig24_rass_over_time",
+            "labor_cost_savings",
+        }
+        assert expected.issubset(set(EXPERIMENTS))
+
+    def test_unknown_experiment_rejected(self):
+        runner = ExperimentRunner(ExperimentConfig.quick())
+        with pytest.raises(KeyError):
+            runner.run("fig99_unknown")
+
+    def test_available_sorted(self):
+        names = ExperimentRunner.available()
+        assert names == sorted(names)
+
+    def test_cheap_experiments_run(self):
+        runner = ExperimentRunner(ExperimentConfig.quick())
+        labor = runner.run("labor_cost_savings")
+        assert labor["saving_vs_50_samples"] > 0.9
+        fig20 = runner.run("fig20_labor_cost")
+        assert np.all(fig20["traditional_hours"] > fig20["iupdater_hours"])
+
+
+class TestReporting:
+    def test_format_key_values(self):
+        text = format_key_values("Title", {"a": 1.234, "b": 5})
+        assert "Title" in text
+        assert "1.234" in text
+
+    def test_format_series_table(self):
+        series = {"row": {1.0: 2.0, 3.0: 4.0}}
+        text = format_series_table("Table", series, unit="dB")
+        assert "Table" in text
+        assert "row" in text
+        assert "dB" in text
+
+    def test_format_series_table_handles_missing_cells(self):
+        series = {"a": {1.0: 2.0}, "b": {3.0: 4.0}}
+        text = format_series_table("T", series)
+        assert "-" in text
+
+    def test_format_cdf_summary(self):
+        text = format_cdf_summary("CDF", {"x": [1.0, 2.0, 3.0]})
+        assert "median" in text
+        assert "x" in text

@@ -1,0 +1,70 @@
+"""Unit tests for :mod:`repro.fingerprint.masks`."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint.masks import DecreaseClassification, ElementCategory, classify_elements
+
+
+class TestClassification:
+    def test_shape(self, small_deployment):
+        classification = classify_elements(small_deployment)
+        assert classification.shape == (
+            small_deployment.link_count,
+            small_deployment.location_count,
+        )
+
+    def test_own_stripe_is_large_decrease(self, small_deployment):
+        classification = classify_elements(small_deployment)
+        for j in range(small_deployment.location_count):
+            own = small_deployment.link_of_location(j)
+            assert classification.categories[own, j] == ElementCategory.LARGE.value
+
+    def test_masks_partition_elements(self, small_deployment):
+        classification = classify_elements(small_deployment)
+        total = (
+            classification.no_decrease_mask
+            + classification.small_decrease_mask
+            + classification.large_decrease_mask
+        )
+        np.testing.assert_allclose(total, np.ones_like(total))
+
+    def test_labor_mask_complement(self, small_deployment):
+        classification = classify_elements(small_deployment)
+        np.testing.assert_allclose(
+            classification.labor_mask, 1.0 - classification.no_decrease_mask
+        )
+
+    def test_far_links_have_no_decrease(self, small_deployment):
+        classification = classify_elements(small_deployment)
+        # A location on link 0's stripe should not affect link 3 (three stripes away).
+        j = next(iter(small_deployment.stripe_indices(0)))
+        assert classification.categories[3, j] == ElementCategory.NONE.value
+
+    def test_fraction_no_decrease_positive(self, small_deployment):
+        classification = classify_elements(small_deployment)
+        assert 0.0 < classification.fraction_no_decrease() < 1.0
+
+    def test_structural_mode_matches_figure4_sketch(self, small_deployment):
+        classification = classify_elements(small_deployment, use_geometry=False)
+        j = next(iter(small_deployment.stripe_indices(1)))
+        assert classification.categories[1, j] == ElementCategory.LARGE.value
+        assert classification.categories[0, j] == ElementCategory.SMALL.value
+        assert classification.categories[2, j] == ElementCategory.SMALL.value
+        assert classification.categories[3, j] == ElementCategory.NONE.value
+
+    def test_geometry_and_structural_agree_on_own_stripe(self, small_deployment):
+        geometric = classify_elements(small_deployment, use_geometry=True)
+        structural = classify_elements(small_deployment, use_geometry=False)
+        np.testing.assert_allclose(
+            geometric.large_decrease_mask.diagonal()
+            if geometric.large_decrease_mask.shape[0] == geometric.large_decrease_mask.shape[1]
+            else np.ones(1),
+            structural.large_decrease_mask.diagonal()
+            if structural.large_decrease_mask.shape[0] == structural.large_decrease_mask.shape[1]
+            else np.ones(1),
+        )
+        # Both agree that every column's own link is a large decrease.
+        for j in range(small_deployment.location_count):
+            own = small_deployment.link_of_location(j)
+            assert geometric.categories[own, j] == structural.categories[own, j]

@@ -1,0 +1,53 @@
+"""Unit tests for :mod:`repro.localization.knn`."""
+
+import numpy as np
+import pytest
+
+from repro.localization.knn import KNNConfig, KNNLocalizer
+
+
+class TestKNNLocalizer:
+    def test_exact_fingerprint_recovered(self, striped_fingerprint):
+        localizer = KNNLocalizer(striped_fingerprint)
+        for j in (1, 6, 18):
+            assert localizer.localize_index(striped_fingerprint.column(j)) == j
+
+    def test_single_neighbour_point(self, striped_fingerprint):
+        locations = np.column_stack([np.arange(24, dtype=float), np.zeros(24)])
+        localizer = KNNLocalizer(
+            striped_fingerprint, locations, KNNConfig(neighbours=1)
+        )
+        np.testing.assert_allclose(
+            localizer.localize_point(striped_fingerprint.column(8)), locations[8]
+        )
+
+    def test_weighted_centroid_stays_near_truth(self, striped_fingerprint, rng):
+        locations = np.column_stack([np.arange(24, dtype=float), np.zeros(24)])
+        localizer = KNNLocalizer(
+            striped_fingerprint, locations, KNNConfig(neighbours=3, weighted=True)
+        )
+        j = 10
+        noisy = striped_fingerprint.column(j) + rng.normal(0.0, 0.2, size=4)
+        point = localizer.localize_point(noisy)
+        assert abs(point[0] - j) <= 3.0
+
+    def test_localize_point_requires_locations(self, striped_fingerprint):
+        with pytest.raises(ValueError):
+            KNNLocalizer(striped_fingerprint).localize_point(striped_fingerprint.column(0))
+
+    def test_batch(self, striped_fingerprint):
+        localizer = KNNLocalizer(striped_fingerprint)
+        indices = localizer.localize_batch(striped_fingerprint.values.T[:4])
+        np.testing.assert_array_equal(indices, np.arange(4))
+
+    def test_offset_invariance_with_centering(self, striped_fingerprint):
+        localizer = KNNLocalizer(striped_fingerprint, config=KNNConfig(center_columns=True))
+        assert localizer.localize_index(striped_fingerprint.column(20) + 5.0) == 20
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            KNNConfig(neighbours=0)
+
+    def test_location_shape_checked(self, striped_fingerprint):
+        with pytest.raises(ValueError):
+            KNNLocalizer(striped_fingerprint, locations=np.zeros((3, 2)))

@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.localization.omp`."""
+
+import numpy as np
+import pytest
+
+from repro.localization.omp import OMPConfig, OMPLocalizer, orthogonal_matching_pursuit
+
+
+class TestOMPAlgorithm:
+    def test_recovers_single_sparse_support(self, rng):
+        dictionary = rng.normal(size=(10, 30))
+        true_index = 17
+        measurement = 2.5 * dictionary[:, true_index]
+        coefficients, support = orthogonal_matching_pursuit(dictionary, measurement, sparsity=1)
+        assert support == [true_index]
+        assert coefficients[true_index] == pytest.approx(2.5, abs=1e-6)
+
+    def test_recovers_two_sparse_support(self, rng):
+        dictionary = rng.normal(size=(12, 40))
+        measurement = 1.0 * dictionary[:, 5] - 2.0 * dictionary[:, 20]
+        _, support = orthogonal_matching_pursuit(dictionary, measurement, sparsity=2)
+        assert set(support) == {5, 20}
+
+    def test_residual_threshold_stops_early(self, rng):
+        dictionary = rng.normal(size=(8, 20))
+        measurement = dictionary[:, 3]
+        _, support = orthogonal_matching_pursuit(
+            dictionary, measurement, sparsity=5, residual_threshold=1e-8
+        )
+        assert len(support) == 1
+
+    def test_sparsity_capped_by_columns(self, rng):
+        dictionary = rng.normal(size=(4, 3))
+        measurement = rng.normal(size=4)
+        _, support = orthogonal_matching_pursuit(dictionary, measurement, sparsity=10)
+        assert len(support) <= 3
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            orthogonal_matching_pursuit(rng.normal(size=(4, 5)), rng.normal(size=3), 1)
+
+
+class TestOMPLocalizer:
+    def test_exact_fingerprint_recovered(self, striped_fingerprint):
+        localizer = OMPLocalizer(striped_fingerprint)
+        for j in (0, 7, 13, 23):
+            measurement = striped_fingerprint.column(j)
+            assert localizer.localize_index(measurement) == j
+
+    def test_noisy_fingerprint_recovered_nearby(self, striped_fingerprint, rng):
+        localizer = OMPLocalizer(striped_fingerprint)
+        j = 9
+        measurement = striped_fingerprint.column(j) + rng.normal(0.0, 0.3, size=4)
+        estimate = localizer.localize_index(measurement)
+        # Allow the estimate to land on the true column or a stripe neighbour.
+        assert abs(estimate - j) <= 1
+
+    def test_localize_point_requires_locations(self, striped_fingerprint):
+        localizer = OMPLocalizer(striped_fingerprint)
+        with pytest.raises(ValueError):
+            localizer.localize_point(striped_fingerprint.column(0))
+
+    def test_localize_point_returns_grid_coordinates(self, striped_fingerprint):
+        locations = np.column_stack(
+            [np.arange(24, dtype=float), np.zeros(24)]
+        )
+        localizer = OMPLocalizer(striped_fingerprint, locations)
+        point = localizer.localize_point(striped_fingerprint.column(11))
+        np.testing.assert_allclose(point, locations[11])
+
+    def test_weighted_centroid_between_grids(self, striped_fingerprint):
+        locations = np.column_stack([np.arange(24, dtype=float), np.zeros(24)])
+        config = OMPConfig(sparsity=2, weighted_centroid=True)
+        localizer = OMPLocalizer(striped_fingerprint, locations, config)
+        blend = 0.5 * striped_fingerprint.column(4) + 0.5 * striped_fingerprint.column(5)
+        point = localizer.localize_point(blend)
+        assert 3.0 <= point[0] <= 6.0
+
+    def test_localize_batch_shape(self, striped_fingerprint):
+        localizer = OMPLocalizer(striped_fingerprint)
+        measurements = striped_fingerprint.values.T[:5]
+        indices = localizer.localize_batch(measurements)
+        assert indices.shape == (5,)
+        np.testing.assert_array_equal(indices, np.arange(5))
+
+    def test_centering_makes_matching_offset_invariant(self, striped_fingerprint):
+        localizer = OMPLocalizer(striped_fingerprint, config=OMPConfig(center_columns=True))
+        j = 15
+        shifted = striped_fingerprint.column(j) + 7.0  # global RSS shift
+        assert localizer.localize_index(shifted) == j
+
+    def test_locations_row_count_checked(self, striped_fingerprint):
+        with pytest.raises(ValueError):
+            OMPLocalizer(striped_fingerprint, locations=np.zeros((5, 2)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OMPConfig(sparsity=0)
+        with pytest.raises(ValueError):
+            OMPConfig(residual_threshold=-1.0)

@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.localization.rass` (SVR-based baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.localization.rass import RASSConfig, RASSLocalizer
+from repro.localization.svr import SVRConfig
+
+
+@pytest.fixture()
+def locations():
+    xs = np.arange(24, dtype=float) % 6
+    ys = np.arange(24, dtype=float) // 6
+    return np.column_stack([xs, ys])
+
+
+class TestRASSLocalizer:
+    def test_fit_and_localize_training_point(self, striped_fingerprint, locations):
+        model = RASSLocalizer(RASSConfig(svr=SVRConfig(c=50.0, epsilon=0.01)))
+        model.fit(striped_fingerprint, locations)
+        point = model.localize_point(striped_fingerprint.column(7))
+        assert np.linalg.norm(point - locations[7]) < 2.0
+
+    def test_localize_index_snaps_to_grid(self, striped_fingerprint, locations):
+        model = RASSLocalizer().fit(striped_fingerprint, locations)
+        index = model.localize_index(striped_fingerprint.column(3))
+        assert 0 <= index < 24
+
+    def test_localize_before_fit_raises(self, striped_fingerprint):
+        with pytest.raises(RuntimeError):
+            RASSLocalizer().localize_point(striped_fingerprint.column(0))
+
+    def test_batch_shape(self, striped_fingerprint, locations):
+        model = RASSLocalizer().fit(striped_fingerprint, locations)
+        batch = model.localize_batch(striped_fingerprint.values.T[:5])
+        assert batch.shape == (5, 2)
+
+    def test_location_shape_validated(self, striped_fingerprint):
+        with pytest.raises(ValueError):
+            RASSLocalizer().fit(striped_fingerprint, np.zeros((24, 3)))
+
+    def test_location_count_validated(self, striped_fingerprint):
+        with pytest.raises(ValueError):
+            RASSLocalizer().fit(striped_fingerprint, np.zeros((10, 2)))
+
+    def test_degrades_with_stale_fingerprints(self, striped_fingerprint, locations, rng):
+        """RASS trained on a drifted (stale) matrix mislocates more (Fig. 23)."""
+        model_fresh = RASSLocalizer().fit(striped_fingerprint, locations)
+        drift = rng.normal(0.0, 4.0, size=(4, 1)) * np.ones((1, 24))
+        stale_matrix = striped_fingerprint.values + drift
+        model_stale = RASSLocalizer().fit(stale_matrix, locations)
+        errors_fresh, errors_stale = [], []
+        for j in range(0, 24, 3):
+            measurement = striped_fingerprint.column(j) + rng.normal(0.0, 0.2, size=4)
+            errors_fresh.append(
+                np.linalg.norm(model_fresh.localize_point(measurement) - locations[j])
+            )
+            errors_stale.append(
+                np.linalg.norm(model_stale.localize_point(measurement) - locations[j])
+            )
+        assert np.mean(errors_stale) >= np.mean(errors_fresh) * 0.9

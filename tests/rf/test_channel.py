@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.rf.channel` (link-level RSS composition)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.channel import ChannelConfig, LinkChannel
+from repro.rf.geometry import Link, Point
+from repro.rf.target import ObstructionState
+
+
+@pytest.fixture()
+def channel() -> LinkChannel:
+    links = [
+        Link(index=0, transmitter=Point(0.5, 1.0), receiver=Point(9.5, 1.0)),
+        Link(index=1, transmitter=Point(0.5, 3.0), receiver=Point(9.5, 3.0)),
+        Link(index=2, transmitter=Point(0.5, 5.0), receiver=Point(9.5, 5.0)),
+    ]
+    return LinkChannel(links, area_width=10.0, area_height=6.0, seed=5)
+
+
+class TestChannelConstruction:
+    def test_requires_links(self):
+        with pytest.raises(ValueError):
+            LinkChannel([], 10.0, 6.0)
+
+    def test_link_count(self, channel):
+        assert channel.link_count == 3
+
+    def test_invalid_quantization_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(rss_quantization_db=-0.5)
+
+
+class TestMeanRSS:
+    def test_target_on_link_reduces_rss(self, channel):
+        baseline = channel.mean_rss_dbm(0, None, 0.0)
+        blocked = channel.mean_rss_dbm(0, Point(5.0, 1.0), 0.0)
+        assert blocked < baseline - 2.0
+
+    def test_target_far_away_barely_changes_rss(self, channel):
+        baseline = channel.mean_rss_dbm(0, None, 0.0)
+        far = channel.mean_rss_dbm(0, Point(5.0, 5.0), 0.0)
+        assert abs(far - baseline) < 1.0
+
+    def test_rss_above_floor(self, channel):
+        assert channel.mean_rss_dbm(0, Point(5.0, 1.0), 0.0) >= channel.config.rss_floor_dbm
+
+    def test_long_term_drift_changes_rss(self, channel):
+        now = channel.mean_rss_dbm(1, Point(5.0, 3.0), 0.0)
+        later = channel.mean_rss_dbm(1, Point(5.0, 3.0), 45.0)
+        assert now != later
+
+    def test_baseline_rss_matches_mean_rss_without_target(self, channel):
+        assert channel.baseline_rss_dbm(2, 0.0) == pytest.approx(
+            channel.mean_rss_dbm(2, None, 0.0)
+        )
+
+
+class TestMeasurement:
+    def test_quantization_step(self, channel):
+        value = channel.measure_rss_dbm(0, Point(3.0, 1.0), 0.0)
+        step = channel.config.rss_quantization_db
+        assert abs(value / step - round(value / step)) < 1e-9
+
+    def test_noiseless_measurement_matches_mean(self, channel):
+        mean = channel.mean_rss_dbm(0, Point(3.0, 1.0), 0.0)
+        measured = channel.measure_rss_dbm(0, Point(3.0, 1.0), 0.0, with_noise=False)
+        assert measured == pytest.approx(mean, abs=channel.config.rss_quantization_db)
+
+    def test_measure_vector_shape(self, channel):
+        vector = channel.measure_vector(Point(4.0, 3.0), samples=3)
+        assert vector.shape == (3,)
+
+    def test_measure_vector_rejects_bad_samples(self, channel):
+        with pytest.raises(ValueError):
+            channel.measure_vector(Point(4.0, 3.0), samples=0)
+
+    def test_averaging_reduces_variance(self, channel):
+        singles = [channel.measure_vector(Point(4.0, 1.0), samples=1)[0] for _ in range(30)]
+        averaged = [channel.measure_vector(Point(4.0, 1.0), samples=10)[0] for _ in range(30)]
+        assert np.std(averaged) < np.std(singles) + 1e-9
+
+    def test_obstruction_state_exposed(self, channel):
+        assert channel.obstruction_state(0, Point(5.0, 1.0)) is ObstructionState.BLOCKING
+
+    def test_time_series_length(self, channel):
+        series = channel.rss_time_series(0, duration_s=10.0, sample_interval_s=0.5)
+        assert series.shape == (20,)
+
+    def test_time_series_rejects_bad_args(self, channel):
+        with pytest.raises(ValueError):
+            channel.rss_time_series(0, duration_s=0.0)
+
+    def test_short_term_variation_spans_several_db(self, channel):
+        # Fig. 1: ~5 dB swings over 100 s at a fixed location.
+        series = channel.rss_time_series(0, 100.0, 0.5, target_location=Point(5.0, 1.0))
+        assert series.max() - series.min() >= 2.0

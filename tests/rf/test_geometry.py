@@ -1,0 +1,139 @@
+"""Unit tests for :mod:`repro.rf.geometry`."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.geometry import (
+    Link,
+    Point,
+    bounding_box,
+    first_fresnel_radius,
+    make_grid_centres,
+    point_segment_distance,
+    projection_parameter,
+    wavelength,
+)
+
+coords = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_distance_symmetric(self):
+        a, b = Point(0.0, 0.0), Point(3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+        assert b.distance_to(a) == pytest.approx(5.0)
+
+    def test_as_array(self):
+        np.testing.assert_allclose(Point(1.0, 2.0).as_array(), [1.0, 2.0])
+
+    def test_translated(self):
+        moved = Point(1.0, 1.0).translated(2.0, -1.0)
+        assert (moved.x, moved.y) == (3.0, 0.0)
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, ax, ay, bx, by):
+        origin = Point(0.0, 0.0)
+        a, b = Point(ax, ay), Point(bx, by)
+        assert origin.distance_to(b) <= origin.distance_to(a) + a.distance_to(b) + 1e-9
+
+
+class TestWavelengthAndFresnel:
+    def test_wavelength_of_2g4(self):
+        assert wavelength(2.437e9) == pytest.approx(0.123, abs=0.001)
+
+    def test_wavelength_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+    def test_fresnel_radius_zero_at_ends(self):
+        assert first_fresnel_radius(0.0, 10.0, 0.12) == 0.0
+        assert first_fresnel_radius(10.0, 0.0, 0.12) == 0.0
+
+    def test_fresnel_radius_maximal_at_midpoint(self):
+        length, lam = 10.0, 0.12
+        mid = first_fresnel_radius(length / 2, length / 2, lam)
+        off = first_fresnel_radius(2.0, 8.0, lam)
+        assert mid > off
+
+    def test_fresnel_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            first_fresnel_radius(-1.0, 5.0, 0.12)
+
+    @given(st.floats(0.0, 100.0), st.floats(0.0, 100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_fresnel_radius_non_negative(self, d1, d2):
+        assert first_fresnel_radius(d1, d2, 0.123) >= 0.0
+
+
+class TestProjectionAndDistance:
+    def test_projection_clipped_to_unit_interval(self):
+        start, end = Point(0.0, 0.0), Point(10.0, 0.0)
+        assert projection_parameter(Point(-5.0, 0.0), start, end) == 0.0
+        assert projection_parameter(Point(15.0, 0.0), start, end) == 1.0
+        assert projection_parameter(Point(5.0, 3.0), start, end) == pytest.approx(0.5)
+
+    def test_degenerate_segment(self):
+        point = Point(1.0, 1.0)
+        assert projection_parameter(point, Point(0, 0), Point(0, 0)) == 0.0
+        assert point_segment_distance(point, Point(0, 0), Point(0, 0)) == pytest.approx(
+            math.sqrt(2)
+        )
+
+    def test_perpendicular_distance(self):
+        start, end = Point(0.0, 0.0), Point(10.0, 0.0)
+        assert point_segment_distance(Point(5.0, 2.0), start, end) == pytest.approx(2.0)
+
+    def test_distance_beyond_endpoint(self):
+        start, end = Point(0.0, 0.0), Point(10.0, 0.0)
+        assert point_segment_distance(Point(13.0, 4.0), start, end) == pytest.approx(5.0)
+
+
+class TestLink:
+    def make_link(self) -> Link:
+        return Link(index=0, transmitter=Point(0.0, 1.0), receiver=Point(10.0, 1.0))
+
+    def test_length_and_midpoint(self):
+        link = self.make_link()
+        assert link.length == pytest.approx(10.0)
+        assert (link.midpoint().x, link.midpoint().y) == (5.0, 1.0)
+
+    def test_along_fraction(self):
+        link = self.make_link()
+        assert link.along_fraction(Point(2.5, 5.0)) == pytest.approx(0.25)
+
+    def test_distance_from(self):
+        link = self.make_link()
+        assert link.distance_from(Point(5.0, 4.0)) == pytest.approx(3.0)
+
+    def test_fresnel_radius_midpoint_largest(self):
+        link = self.make_link()
+        mid = link.fresnel_radius_at(Point(5.0, 1.0))
+        end = link.fresnel_radius_at(Point(1.0, 1.0))
+        assert mid > end > 0.0
+
+
+class TestGrid:
+    def test_grid_count(self):
+        centres = make_grid_centres(3.0, 2.0, 1.0)
+        assert len(centres) == 6
+
+    def test_grid_excluded_rectangle(self):
+        centres = make_grid_centres(3.0, 1.0, 1.0, excluded=[(0.0, 0.0, 1.0, 1.0)])
+        assert len(centres) == 2
+
+    def test_grid_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            make_grid_centres(0.0, 2.0, 1.0)
+
+    def test_bounding_box(self):
+        box = bounding_box([Point(0.0, 1.0), Point(2.0, -1.0)])
+        assert box == (0.0, -1.0, 2.0, 1.0)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

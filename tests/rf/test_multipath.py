@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.rf.multipath`."""
+
+import pytest
+
+from repro.rf.geometry import Link, Point
+from repro.rf.multipath import MultipathConfig, MultipathField
+
+
+@pytest.fixture()
+def link() -> Link:
+    return Link(index=0, transmitter=Point(0.0, 2.0), receiver=Point(10.0, 2.0))
+
+
+class TestMultipathConfig:
+    def test_defaults_valid(self):
+        MultipathConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scatterer_count": -1},
+            {"strength_std_db": -0.1},
+            {"interaction_range_m": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MultipathConfig(**kwargs)
+
+
+class TestMultipathField:
+    def test_scatterer_count_respected(self):
+        field = MultipathField(MultipathConfig(scatterer_count=7), 10.0, 8.0, rng=1)
+        assert len(field.scatterers) == 7
+
+    def test_scatterers_inside_area(self):
+        field = MultipathField(MultipathConfig(scatterer_count=20), 10.0, 8.0, rng=1)
+        for scatterer in field.scatterers:
+            assert 0.0 <= scatterer.position.x <= 10.0
+            assert 0.0 <= scatterer.position.y <= 8.0
+
+    def test_reproducible_with_seed(self, link):
+        a = MultipathField(MultipathConfig(), 10.0, 8.0, rng=4).static_offset_db(link)
+        b = MultipathField(MultipathConfig(), 10.0, 8.0, rng=4).static_offset_db(link)
+        assert a == b
+
+    def test_empty_field_contributes_nothing(self, link):
+        field = MultipathField(MultipathConfig(scatterer_count=0), 10.0, 8.0, rng=1)
+        assert field.static_offset_db(link) == 0.0
+        assert field.target_offset_db(link, Point(5.0, 2.0)) == 0.0
+
+    def test_target_offset_decays_with_distance(self, link):
+        field = MultipathField(MultipathConfig(scatterer_count=15), 10.0, 8.0, rng=2)
+        near_total = sum(
+            abs(field.target_offset_db(link, Point(x, 2.0))) for x in range(1, 10)
+        )
+        far_total = sum(
+            abs(field.target_offset_db(link, Point(x, 7.5))) for x in range(1, 10)
+        )
+        assert near_total > far_total
+
+    def test_richer_field_larger_perturbation(self, link):
+        poor = MultipathField(MultipathConfig(scatterer_count=2), 10.0, 8.0, rng=3)
+        rich = MultipathField(MultipathConfig(scatterer_count=40), 10.0, 8.0, rng=3)
+        target = Point(4.0, 2.5)
+        assert abs(rich.target_offset_db(link, target)) >= abs(
+            poor.target_offset_db(link, target)
+        ) * 0.5  # richer fields are not guaranteed larger pointwise, but same order
+
+    def test_invalid_area_rejected(self):
+        with pytest.raises(ValueError):
+            MultipathField(MultipathConfig(), 0.0, 5.0, rng=1)

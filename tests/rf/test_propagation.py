@@ -1,0 +1,74 @@
+"""Unit tests for :mod:`repro.rf.propagation`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.propagation import PathLossModel, PropagationConfig, free_space_path_loss
+
+
+class TestFreeSpacePathLoss:
+    def test_increases_with_distance(self):
+        assert free_space_path_loss(10.0, 2.4e9) > free_space_path_loss(1.0, 2.4e9)
+
+    def test_6db_per_distance_doubling(self):
+        difference = free_space_path_loss(8.0, 2.4e9) - free_space_path_loss(4.0, 2.4e9)
+        assert difference == pytest.approx(6.02, abs=0.1)
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss(1.0, 0.0)
+
+    def test_minimum_distance_clamped(self):
+        assert free_space_path_loss(0.0, 2.4e9) == free_space_path_loss(0.005, 2.4e9)
+
+
+class TestPropagationConfig:
+    def test_defaults_valid(self):
+        config = PropagationConfig()
+        assert config.path_loss_exponent > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"path_loss_exponent": 0.0},
+            {"reference_distance_m": 0.0},
+            {"shadowing_std_db": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PropagationConfig(**kwargs)
+
+
+class TestPathLossModel:
+    def test_path_loss_monotone_in_distance(self):
+        model = PathLossModel(PropagationConfig(), rng=1)
+        losses = [model.path_loss_db(d) for d in (1.0, 2.0, 5.0, 10.0, 20.0)]
+        assert all(a < b for a, b in zip(losses, losses[1:]))
+
+    def test_shadowing_cached_per_link(self):
+        model = PathLossModel(PropagationConfig(), rng=1)
+        assert model.shadowing_db(3) == model.shadowing_db(3)
+
+    def test_shadowing_differs_across_links(self):
+        model = PathLossModel(PropagationConfig(shadowing_std_db=3.0), rng=1)
+        values = {model.shadowing_db(i) for i in range(6)}
+        assert len(values) > 1
+
+    def test_baseline_rss_below_tx_power(self):
+        config = PropagationConfig(tx_power_dbm=20.0, shadowing_std_db=0.0)
+        model = PathLossModel(config, rng=1)
+        assert model.baseline_rss_dbm(10.0) < config.tx_power_dbm
+
+    def test_reproducible_with_seed(self):
+        a = PathLossModel(PropagationConfig(), rng=5).baseline_rss_dbm(8.0, 2)
+        b = PathLossModel(PropagationConfig(), rng=5).baseline_rss_dbm(8.0, 2)
+        assert a == b
+
+    @given(st.floats(1.0, 50.0), st.floats(1.5, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_higher_exponent_means_more_loss(self, distance, exponent):
+        low = PathLossModel(PropagationConfig(path_loss_exponent=exponent), rng=1)
+        high = PathLossModel(PropagationConfig(path_loss_exponent=exponent + 0.5), rng=1)
+        assert high.path_loss_db(distance) >= low.path_loss_db(distance) - 1e-9

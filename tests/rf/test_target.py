@@ -1,0 +1,84 @@
+"""Unit tests for :mod:`repro.rf.target` (human obstruction model)."""
+
+import pytest
+
+from repro.rf.geometry import Link, Point
+from repro.rf.target import ObstructionState, TargetConfig, TargetModel
+
+
+@pytest.fixture()
+def link() -> Link:
+    return Link(index=0, transmitter=Point(0.0, 0.0), receiver=Point(10.0, 0.0))
+
+
+@pytest.fixture()
+def model() -> TargetModel:
+    return TargetModel(TargetConfig())
+
+
+class TestObstructionState:
+    def test_on_path_is_blocking(self, model, link):
+        assert model.obstruction_state(link, Point(3.0, 0.0)) is ObstructionState.BLOCKING
+
+    def test_far_away_is_outside(self, model, link):
+        assert model.obstruction_state(link, Point(5.0, 5.0)) is ObstructionState.OUTSIDE
+
+    def test_near_path_is_fresnel(self, model, link):
+        # Slightly off the direct path but within the expanded Fresnel margin.
+        state = model.obstruction_state(link, Point(5.0, 0.6))
+        assert state in (ObstructionState.FRESNEL, ObstructionState.BLOCKING)
+        assert state is not ObstructionState.OUTSIDE
+
+
+class TestAttenuation:
+    def test_blocking_larger_than_fresnel(self, model, link):
+        blocking = model.attenuation_db(link, Point(2.0, 0.0))
+        fresnel = model.attenuation_db(link, Point(2.0, 0.7))
+        outside = model.attenuation_db(link, Point(2.0, 5.0))
+        assert blocking > fresnel > outside
+
+    def test_outside_attenuation_negligible(self, model, link):
+        assert model.attenuation_db(link, Point(5.0, 6.0)) <= 0.1
+
+    def test_stronger_near_transceiver_than_midpoint(self, model, link):
+        near_tx = model.attenuation_db(link, Point(1.0, 0.0))
+        midpoint = model.attenuation_db(link, Point(5.0, 0.0))
+        assert near_tx > midpoint
+
+    def test_asymmetry_tx_side_stronger(self, link):
+        model = TargetModel(TargetConfig(asymmetry=0.4))
+        tx_side = model.attenuation_db(link, Point(2.0, 0.0))
+        rx_side = model.attenuation_db(link, Point(8.0, 0.0))
+        assert tx_side > rx_side
+
+    def test_zero_asymmetry_is_symmetric(self, link):
+        model = TargetModel(TargetConfig(asymmetry=0.0))
+        tx_side = model.attenuation_db(link, Point(2.0, 0.0))
+        rx_side = model.attenuation_db(link, Point(8.0, 0.0))
+        assert tx_side == pytest.approx(rx_side, abs=1e-6)
+
+    def test_attenuation_always_positive(self, model, link):
+        for x in (0.5, 2.5, 5.0, 7.5, 9.5):
+            for y in (0.0, 0.3, 1.0, 3.0):
+                assert model.attenuation_db(link, Point(x, y)) > 0.0
+
+
+class TestTargetConfigValidation:
+    def test_default_is_valid(self):
+        TargetConfig()
+
+    def test_rejects_blocking_below_midpoint(self):
+        with pytest.raises(ValueError):
+            TargetConfig(blocking_attenuation_db=2.0, midpoint_attenuation_db=4.0)
+
+    def test_rejects_small_fresnel_margin(self):
+        with pytest.raises(ValueError):
+            TargetConfig(fresnel_margin=0.5)
+
+    def test_rejects_non_positive_body(self):
+        with pytest.raises(ValueError):
+            TargetConfig(body_radius_m=0.0)
+
+    def test_rejects_extreme_asymmetry(self):
+        with pytest.raises(ValueError):
+            TargetConfig(asymmetry=1.5)

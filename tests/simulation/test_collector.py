@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.simulation.collector`."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.collector import CollectionConfig, MeasurementCollector
+
+
+class TestCollectionConfig:
+    def test_defaults_valid(self):
+        CollectionConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"survey_samples": 0}, {"reference_samples": 0}, {"online_samples": 0}],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CollectionConfig(**kwargs)
+
+
+class TestSurvey:
+    def test_fingerprint_shape(self, small_campaign):
+        matrix = small_campaign.collector.survey_fingerprint(elapsed_days=0.0, samples=2)
+        deployment = small_campaign.deployment
+        assert matrix.shape == (deployment.link_count, deployment.location_count)
+
+    def test_own_link_sees_large_decrease(self, small_campaign):
+        collector = small_campaign.collector
+        matrix = collector.survey_fingerprint(elapsed_days=0.0, samples=3)
+        deployment = small_campaign.deployment
+        baseline = np.array(
+            [deployment.channel.baseline_rss_dbm(i, 0.0) for i in range(deployment.link_count)]
+        )
+        # For every column, the own-link RSS should sit several dB below the
+        # target-free baseline of that link.
+        for j in range(deployment.location_count):
+            own = deployment.link_of_location(j)
+            assert matrix.values[own, j] < baseline[own] - 2.0
+
+    def test_far_link_close_to_baseline(self, small_campaign):
+        collector = small_campaign.collector
+        matrix = collector.survey_fingerprint(elapsed_days=0.0, samples=3)
+        deployment = small_campaign.deployment
+        baseline = deployment.channel.baseline_rss_dbm(3, 0.0)
+        j = next(iter(deployment.stripe_indices(0)))
+        assert abs(matrix.values[3, j] - baseline) < 2.5
+
+
+class TestNoDecreaseAndReference:
+    def test_no_decrease_respects_mask(self, small_campaign):
+        observed, mask = small_campaign.collector.collect_no_decrease(elapsed_days=0.0)
+        assert observed.shape == mask.shape
+        np.testing.assert_allclose(observed[mask == 0.0], 0.0)
+        assert np.all(observed[mask == 1.0] < 0.0)
+
+    def test_reference_matrix_shape(self, small_campaign):
+        reference = small_campaign.collector.collect_reference([0, 5, 10], elapsed_days=0.0)
+        assert reference.shape == (small_campaign.deployment.link_count, 3)
+
+    def test_reference_rejects_bad_indices(self, small_campaign):
+        with pytest.raises(ValueError):
+            small_campaign.collector.collect_reference([0, 0], elapsed_days=0.0)
+        with pytest.raises(ValueError):
+            small_campaign.collector.collect_reference([9999], elapsed_days=0.0)
+
+    def test_reference_close_to_ground_truth_column(self, small_campaign, small_database):
+        truth = small_database.get(45.0)
+        reference = small_campaign.collector.collect_reference([2], elapsed_days=45.0, samples=10)
+        assert np.abs(reference[:, 0] - truth.values[:, 2]).mean() < 2.5
+
+    def test_partial_survey_fraction(self, small_campaign, rng):
+        observed, mask = small_campaign.collector.collect_partial_survey(
+            0.5, elapsed_days=0.0, rng=rng
+        )
+        surveyed_columns = int((mask.sum(axis=0) > 0).sum())
+        expected = round(0.5 * small_campaign.deployment.location_count)
+        assert surveyed_columns == expected
+        np.testing.assert_allclose(observed[mask == 0.0], 0.0)
+
+    def test_partial_survey_rejects_bad_fraction(self, small_campaign):
+        with pytest.raises(ValueError):
+            small_campaign.collector.collect_partial_survey(0.0)
+
+
+class TestOnline:
+    def test_online_measurement_shape(self, small_campaign):
+        vector = small_campaign.collector.online_measurement(3, elapsed_days=0.0)
+        assert vector.shape == (small_campaign.deployment.link_count,)
+
+    def test_online_rejects_bad_index(self, small_campaign):
+        with pytest.raises(ValueError):
+            small_campaign.collector.online_measurement(10_000)
+
+    def test_online_batch_shape(self, small_campaign):
+        batch = small_campaign.collector.online_batch([0, 1, 2], elapsed_days=0.0)
+        assert batch.shape == (3, small_campaign.deployment.link_count)
+
+    def test_online_measurement_resembles_fingerprint(self, small_campaign, small_database):
+        truth = small_database.original
+        vector = small_campaign.collector.online_measurement(5, elapsed_days=0.0, samples=10)
+        assert np.abs(vector - truth.values[:, 5]).mean() < 2.5

@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.simulation.labor` (labor-cost model)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.labor import LaborCostConfig, LaborCostModel
+
+
+class TestLaborCostConfig:
+    def test_defaults_match_paper_constants(self):
+        config = LaborCostConfig()
+        assert config.moving_time_s == 5.0
+        assert config.collection_interval_s == 0.5
+        assert config.traditional_samples == 50
+        assert config.iupdater_samples == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"collection_interval_s": 0.0}, {"traditional_samples": 0}, {"iupdater_samples": 0}],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LaborCostConfig(**kwargs)
+
+
+class TestUpdateCosts:
+    def test_iupdater_office_cost_matches_paper(self):
+        # 7 moves x 5 s + 5 samples x 0.5 s x 8 locations = 55 s.
+        model = LaborCostModel()
+        cost = model.iupdater_cost(8)
+        assert cost.seconds == pytest.approx(55.0)
+
+    def test_traditional_office_cost_matches_paper(self):
+        # 93 moves x 5 s + 50 samples x 0.5 s x 94 locations = 46.9 min.
+        model = LaborCostModel()
+        cost = model.traditional_cost(94)
+        assert cost.minutes == pytest.approx(46.9, abs=0.1)
+
+    def test_saving_fractions_match_paper(self):
+        model = LaborCostModel()
+        assert model.saving_fraction(94, 8) == pytest.approx(0.979, abs=0.005)
+        assert model.saving_fraction(94, 8, traditional_samples=5) == pytest.approx(
+            0.921, abs=0.005
+        )
+
+    def test_cost_units_consistent(self):
+        cost = LaborCostModel().update_cost(10, 5)
+        assert cost.minutes == pytest.approx(cost.seconds / 60.0)
+        assert cost.hours == pytest.approx(cost.seconds / 3600.0)
+
+    def test_invalid_counts_rejected(self):
+        model = LaborCostModel()
+        with pytest.raises(ValueError):
+            model.update_cost(0, 5)
+        with pytest.raises(ValueError):
+            model.update_cost(5, 0)
+
+
+class TestCostVersusArea:
+    def test_traditional_grows_faster_than_iupdater(self):
+        model = LaborCostModel()
+        curves = model.cost_versus_area(94, 8, scale_factors=range(1, 11))
+        traditional = curves["traditional_hours"]
+        iupdater = curves["iupdater_hours"]
+        assert np.all(traditional > iupdater)
+        # Growth ratio over the sweep: quadratic vs roughly linear.
+        assert traditional[-1] / traditional[0] > 50
+        assert iupdater[-1] / iupdater[0] < 25
+
+    def test_monotone_in_scale(self):
+        curves = LaborCostModel().cost_versus_area(94, 8, scale_factors=[1, 2, 4, 8])
+        assert np.all(np.diff(curves["traditional_hours"]) > 0)
+        assert np.all(np.diff(curves["iupdater_hours"]) > 0)
+
+    def test_invalid_arguments_rejected(self):
+        model = LaborCostModel()
+        with pytest.raises(ValueError):
+            model.cost_versus_area(0, 8, [1, 2])
+        with pytest.raises(ValueError):
+            model.cost_versus_area(94, 8, [0.0])

@@ -1,0 +1,77 @@
+"""End-to-end integration tests covering the paper's headline claims.
+
+These tests run the full pipeline — simulate a deployment, survey a
+ground-truth database, update it from a handful of reference measurements,
+and localize — on a reduced-size environment so the assertions stay fast but
+still exercise every module together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import low_rank_report
+from repro.localization.knn import KNNLocalizer
+from repro.localization.metrics import summarize_errors
+from repro.localization.omp import OMPLocalizer
+from repro.simulation.labor import LaborCostModel
+
+
+class TestHeadlineClaims:
+    def test_fingerprint_matrix_approximately_low_rank(self, small_database):
+        """Observation 1 / Fig. 5 on the simulated database."""
+        for snapshot in small_database:
+            report = low_rank_report(snapshot.matrix.values)
+            assert report.approximately_low_rank or report.exactly_low_rank
+
+    def test_update_recovers_drifted_database(self, small_campaign, small_database):
+        """Core claim: a few reference measurements recover the stale matrix."""
+        ground_truth = small_database.get(45.0)
+        stale_error = small_database.original.reconstruction_error_db(ground_truth)
+        result = small_campaign.run_update(45.0)
+        updated_error = result.matrix.reconstruction_error_db(ground_truth)
+        assert updated_error < stale_error
+        assert updated_error < 3.0  # comparable to short-term RSS variation
+
+    def test_reference_count_is_small(self, small_campaign):
+        """Claim 1: reference locations ≈ rank ≈ link count << location count."""
+        updater = small_campaign.make_updater()
+        deployment = small_campaign.deployment
+        assert len(updater.reference_indices) <= deployment.link_count
+        assert len(updater.reference_indices) <= deployment.location_count // 3
+
+    def test_localization_with_updated_matrix_beats_stale(self, small_campaign, small_database):
+        """Fig. 21/22: updating the database improves localization accuracy."""
+        test_indices = small_campaign.sample_test_locations(16)
+        measurements = small_campaign.online_measurements(test_indices, 45.0)
+        locations = small_campaign.deployment.location_array()
+
+        def errors_for(matrix):
+            localizer = OMPLocalizer(matrix, locations)
+            values = []
+            for row, true_index in zip(measurements, test_indices):
+                estimate = localizer.localize_point(row)
+                values.append(np.linalg.norm(estimate - locations[int(true_index)]))
+            return summarize_errors(values)
+
+        updated = errors_for(small_campaign.run_update(45.0).matrix)
+        stale = errors_for(small_database.original)
+        fresh = errors_for(small_database.get(45.0))
+        assert updated.mean_m <= stale.mean_m + 0.25
+        assert fresh.mean_m <= stale.mean_m + 0.25
+
+    def test_labor_cost_saving_over_90_percent(self, small_campaign):
+        """Section VI-C: updating via reference locations saves >90 % time."""
+        model = LaborCostModel()
+        total = small_campaign.deployment.location_count
+        references = len(small_campaign.make_updater().reference_indices)
+        assert model.saving_fraction(total, references) > 0.9
+
+    def test_omp_and_knn_agree_on_clean_measurements(self, small_database):
+        """Sanity cross-check of the two matchers on noiseless fingerprints."""
+        matrix = small_database.original
+        omp = OMPLocalizer(matrix)
+        knn = KNNLocalizer(matrix)
+        for j in range(0, matrix.location_count, 5):
+            column = matrix.column(j)
+            assert omp.localize_index(column) == j
+            assert knn.localize_index(column) == j

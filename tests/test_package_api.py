@@ -1,0 +1,30 @@
+"""Tests of the top-level package API surface."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} listed in __all__ but missing"
+
+    def test_key_classes_exported(self):
+        assert repro.IUpdater is not None
+        assert repro.FingerprintMatrix is not None
+        assert repro.OMPLocalizer is not None
+        assert repro.SurveyCampaign is not None
+
+    def test_environment_factories_exported(self):
+        office = repro.office_environment()
+        library = repro.library_environment()
+        hall = repro.hall_environment()
+        assert {office.name, library.name, hall.name} == {"office", "library", "hall"}
+
+    def test_build_deployment_exported(self):
+        spec = repro.office_environment(locations_per_link=4, link_count=4)
+        deployment = repro.build_deployment(spec, seed=1)
+        assert deployment.link_count == 4

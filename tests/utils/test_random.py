@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.utils.random`."""
+
+import numpy as np
+import pytest
+
+from repro.utils.random import derive_rng, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_integer_seed_is_reproducible(self):
+        assert make_rng(42).integers(0, 1000) == make_rng(42).integers(0, 1000)
+
+    def test_existing_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert make_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(1, 2)
+        first = children[0].integers(0, 2**31)
+        second = children[1].integers(0, 2**31)
+        assert first != second
+
+    def test_reproducible_from_same_seed(self):
+        a = [g.integers(0, 1000) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 1000) for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, 0)
+
+
+class TestDeriveRng:
+    def test_same_keys_same_stream(self):
+        a = derive_rng(5, 1, 2).integers(0, 10**9)
+        b = derive_rng(5, 1, 2).integers(0, 10**9)
+        assert a == b
+
+    def test_different_keys_different_stream(self):
+        a = derive_rng(5, 1, 2).integers(0, 10**9)
+        b = derive_rng(5, 1, 3).integers(0, 10**9)
+        assert a != b
+
+    def test_large_keys_do_not_overflow(self):
+        generator = derive_rng(2**40, 2**50, 2**60)
+        assert 0 <= generator.random() < 1
+
+    def test_none_seed_supported(self):
+        assert isinstance(derive_rng(None, 1), np.random.Generator)

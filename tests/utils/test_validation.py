@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.utils.validation`."""
+
+import numpy as np
+import pytest
+
+from repro.utils import validation
+
+
+class TestAsFloatArray:
+    def test_list_converted(self):
+        array = validation.as_float_array([1, 2, 3])
+        assert array.dtype == float
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            validation.as_float_array([1.0, np.nan])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            validation.as_float_array(["a", "b"])
+
+
+class TestCheck2D:
+    def test_accepts_matrix(self):
+        matrix = validation.check_2d([[1.0, 2.0], [3.0, 4.0]])
+        assert matrix.shape == (2, 2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            validation.check_2d([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validation.check_2d(np.zeros((0, 3)))
+
+
+class TestCheck1D:
+    def test_accepts_vector(self):
+        assert validation.check_1d([1.0, 2.0]).shape == (2,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            validation.check_1d([[1.0], [2.0]])
+
+
+class TestCheckMatchingShapes:
+    def test_matching_ok(self):
+        validation.check_matching_shapes(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            validation.check_matching_shapes(np.zeros((2, 2)), np.ones((2, 3)))
+
+
+class TestScalarChecks:
+    @pytest.mark.parametrize("value", [1.0, 0.5, 1e-9])
+    def test_check_positive_accepts(self, value):
+        assert validation.check_positive(value) == value
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("inf"), float("nan")])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ValueError):
+            validation.check_positive(value)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert validation.check_non_negative(0.0) == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validation.check_non_negative(-0.1)
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert validation.check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan")])
+    def test_check_probability_rejects(self, value):
+        with pytest.raises(ValueError):
+            validation.check_probability(value)
+
+
+class TestIndexChecks:
+    def test_check_index_accepts_valid(self):
+        assert validation.check_index(3, 5) == 3
+
+    @pytest.mark.parametrize("index", [-1, 5, 99])
+    def test_check_index_rejects_out_of_range(self, index):
+        with pytest.raises(ValueError):
+            validation.check_index(index, 5)
+
+    def test_check_indices_accepts_unique(self):
+        result = validation.check_indices([0, 2, 4], 5)
+        np.testing.assert_array_equal(result, [0, 2, 4])
+
+    def test_check_indices_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            validation.check_indices([1, 1], 5)
+
+    def test_check_indices_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validation.check_indices([0, 7], 5)
+
+    def test_check_indices_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validation.check_indices([], 5)
