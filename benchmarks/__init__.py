@@ -1,0 +1,6 @@
+"""Benchmark suite regenerating the paper's evaluation figures.
+
+This package marker gives the benchmark modules a proper importable home so
+``python -m pytest`` collects them from the repository root (the modules
+import shared helpers as ``from benchmarks._harness import run_once``).
+"""

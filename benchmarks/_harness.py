@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark modules.
+
+Kept separate from ``conftest.py`` so benchmark modules can import them as
+plain functions (``from benchmarks._harness import run_once``) instead of the
+``from .conftest import ...`` relative import that broke collection when the
+directory was not a package.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - trivially environment dependent
+    import pytest_benchmark  # noqa: F401
+
+    HAVE_PYTEST_BENCHMARK = True
+except ImportError:  # pragma: no cover
+    HAVE_PYTEST_BENCHMARK = False
+
+__all__ = ["HAVE_PYTEST_BENCHMARK", "run_once"]
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

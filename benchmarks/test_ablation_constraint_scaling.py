@@ -6,7 +6,7 @@ from repro.core.self_augmented import SelfAugmentedConfig
 from repro.core.updater import UpdaterConfig
 from repro.experiments.reporting import format_key_values
 
-from .conftest import run_once
+from benchmarks._harness import run_once
 
 
 @pytest.mark.figure("ablation-scaling")

@@ -6,7 +6,7 @@ import pytest
 from repro.experiments.figures import _fixed_test_set, _localization_errors
 from repro.experiments.reporting import format_key_values
 
-from .conftest import run_once
+from benchmarks._harness import run_once
 
 
 @pytest.mark.figure("ablation-matchers")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.reporting import format_key_values
 
-from .conftest import run_once
+from benchmarks._harness import run_once
 
 
 @pytest.mark.figure("fig1")

@@ -5,7 +5,7 @@ import pytest
 
 from repro.experiments.reporting import format_series_table
 
-from .conftest import run_once
+from benchmarks._harness import run_once
 
 
 @pytest.mark.figure("fig19")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from .conftest import run_once
+from benchmarks._harness import run_once
 
 
 @pytest.mark.figure("fig20")

@@ -15,6 +15,8 @@ __all__ = [
     "relative_energy",
     "effective_rank",
     "safe_solve",
+    "batched_safe_solve",
+    "masked_gram_stack",
     "column_normalize",
     "soft_threshold",
     "singular_value_threshold",
@@ -106,6 +108,75 @@ def safe_solve(lhs: np.ndarray, rhs: np.ndarray, ridge: float = 1e-10) -> np.nda
     except np.linalg.LinAlgError:
         regularised = lhs + ridge * np.eye(lhs.shape[0])
         return np.linalg.lstsq(regularised, rhs, rcond=None)[0]
+
+
+def batched_safe_solve(
+    lhs: np.ndarray, rhs: np.ndarray, ridge: float = 1e-10
+) -> np.ndarray:
+    """Solve a stack of small linear systems ``lhs[k] @ x[k] = rhs[k]``.
+
+    Parameters
+    ----------
+    lhs:
+        Stacked coefficient matrices of shape ``(batch, r, r)``.
+    rhs:
+        Stacked right-hand sides of shape ``(batch, r)``.
+    ridge:
+        Regularisation used by the singular-system fallback.
+
+    The happy path dispatches a single batched ``np.linalg.solve`` over the
+    ``(batch, r, r)`` tensor, which is how the alternating-least-squares
+    sweeps turn ``n`` tiny per-column ridge solves into one LAPACK call.
+    NumPy raises ``LinAlgError`` if *any* slice is singular, in which case we
+    fall back to :func:`safe_solve` per slice so only the offending systems
+    pay for the regularised least-squares retry — mirroring the looped
+    reference path exactly.
+    """
+    lhs = np.asarray(lhs, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    if lhs.ndim != 3 or lhs.shape[1] != lhs.shape[2]:
+        raise ValueError(f"lhs must be a (batch, r, r) stack, got {lhs.shape}")
+    if rhs.shape != lhs.shape[:2]:
+        raise ValueError(
+            f"rhs shape {rhs.shape} does not match lhs batch {lhs.shape[:2]}"
+        )
+    try:
+        return np.linalg.solve(lhs, rhs[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        solutions = np.empty_like(rhs)
+        for k in range(lhs.shape[0]):
+            solutions[k] = safe_solve(lhs[k], rhs[k], ridge=ridge)
+        return solutions
+
+
+def masked_gram_stack(factor: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Stack of weighted Gram matrices ``sum_i weights[i, k] * f_i f_i^T``.
+
+    Parameters
+    ----------
+    factor:
+        Factor matrix of shape ``(m, r)`` whose rows ``f_i`` are combined.
+    weights:
+        Weight matrix of shape ``(m, batch)``; column ``k`` selects/weights
+        the rows contributing to the ``k``-th Gram matrix.
+
+    Returns the ``(batch, r, r)`` tensor whose ``k``-th slice is
+    ``factor.T @ diag(weights[:, k]) @ factor``.  This is the left-hand-side
+    bulk of every masked ridge system in an alternating-least-squares sweep;
+    building all of them with one ``(batch, m) @ (m, r*r)`` matmul replaces
+    ``batch`` tiny per-column Gram products.
+    """
+    factor = np.asarray(factor, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if factor.ndim != 2 or weights.ndim != 2:
+        raise ValueError("factor and weights must be 2-D")
+    if weights.shape[0] != factor.shape[0]:
+        raise ValueError(
+            f"weights rows {weights.shape[0]} must match factor rows {factor.shape[0]}"
+        )
+    m, rank = factor.shape
+    pairs = (factor[:, :, None] * factor[:, None, :]).reshape(m, rank * rank)
+    return (weights.T @ pairs).reshape(weights.shape[1], rank, rank)
 
 
 def column_normalize(matrix: np.ndarray) -> np.ndarray:
