@@ -7,6 +7,7 @@ pytest-benchmark rounds so performance regressions are visible.
 
 import os
 import time
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -16,6 +17,10 @@ from repro.core.mic import select_reference_locations
 from repro.core.rsvd import SOLVER_BACKENDS
 from repro.core.self_augmented import SelfAugmentedConfig, self_augmented_rsvd
 from repro.localization.omp import OMPLocalizer
+from repro.service.fleet import FleetCampaign, FleetConfig
+from repro.service.service import UpdateService
+from repro.simulation.campaign import CampaignConfig
+from repro.simulation.collector import CollectionConfig
 
 
 @pytest.fixture(scope="module")
@@ -106,6 +111,98 @@ def test_kernel_solver_backend_comparison(office_matrix):
     if os.environ.get("REPRO_SKIP_PERF_ASSERT"):
         pytest.skip("REPRO_SKIP_PERF_ASSERT set; BENCH_ rows recorded above")
     assert speedup > 1.5, f"batched backend not measurably faster ({speedup:.2f}x)"
+
+
+@pytest.fixture(scope="module")
+def paper_fleet_requests():
+    """Fresh measurements for one 3-site refresh at the paper's scale."""
+    fleet = FleetCampaign(
+        config=FleetConfig(
+            campaign=CampaignConfig(
+                timestamps_days=(0.0, 45.0),
+                collection=CollectionConfig(survey_samples=8, reference_samples=5),
+                seed=7,
+            )
+        )
+    )
+    return fleet.build_requests(45.0)
+
+
+def test_fleet_vs_looped_updates(paper_fleet_requests):
+    """Time a 3-site fleet refresh: stacked vs per-site update loops.
+
+    Compares three ways of refreshing the office + hall + library databases
+    from identical measurements:
+
+    * ``stacked``  — one ``UpdateService.update_fleet`` call; every sweep is
+      a single stacked batched solve across all sites.
+    * ``persite``  — a Python loop over single-site service calls, each with
+      the batched ALS backend (what looping ``IUpdater.update`` costs).
+    * ``looped``   — the same per-site loop on the per-column reference
+      backend (the pre-batching baseline).
+
+    Runs without the ``benchmark`` fixture so the BENCH_ rows are recorded
+    even when pytest-benchmark is unavailable.
+    """
+    solver = SelfAugmentedConfig(max_iterations=10)
+    service = UpdateService()
+
+    def requests_with(backend):
+        rebuilt = []
+        for request in paper_fleet_requests:
+            rebuilt.append(
+                replace(
+                    request,
+                    config=replace(
+                        request.config, solver=solver, solver_backend=backend
+                    ),
+                )
+            )
+        return rebuilt
+
+    variants = {
+        "stacked": lambda: service.update_fleet(requests_with("batched")),
+        "persite": lambda: [service.update(r) for r in requests_with("batched")],
+        "looped": lambda: [service.update(r) for r in requests_with("looped")],
+    }
+    timings = {}
+    estimates = {}
+    for name, run in variants.items():
+        rounds = []
+        # Best-of-3 so one scheduler stall on a loaded CI runner cannot sink
+        # the measured ratio below the assertion threshold.
+        for _ in range(3):
+            start = time.perf_counter()
+            reports = run()
+            rounds.append(time.perf_counter() - start)
+        timings[name] = min(rounds)
+        estimates[name] = [report.estimate for report in reports]
+
+    deviation = max(
+        float(np.max(np.abs(stacked - persite)))
+        for stacked, persite in zip(estimates["stacked"], estimates["persite"])
+    )
+    vs_looped = timings["looped"] / timings["stacked"]
+    vs_persite = timings["persite"] / timings["stacked"]
+    print()
+    print(f"BENCH_fleet_vs_looped_stacked_seconds: {timings['stacked']:.4f}")
+    print(f"BENCH_fleet_vs_looped_persite_seconds: {timings['persite']:.4f}")
+    print(f"BENCH_fleet_vs_looped_looped_seconds: {timings['looped']:.4f}")
+    print(f"BENCH_fleet_vs_looped_speedup: {vs_looped:.2f}x")
+    print(f"BENCH_fleet_vs_looped_persite_speedup: {vs_persite:.2f}x")
+    print(f"BENCH_fleet_vs_looped_max_deviation_db: {deviation:.3e}")
+
+    # Stacking must not perturb any site's result: batched LU factorises each
+    # slice independently and ranks are solved per rank group.
+    assert deviation == 0.0
+    if os.environ.get("REPRO_SKIP_PERF_ASSERT"):
+        pytest.skip("REPRO_SKIP_PERF_ASSERT set; BENCH_ rows recorded above")
+    assert vs_looped > 1.5, f"stacked fleet not faster than looped updates ({vs_looped:.2f}x)"
+    # At 3-site scale the stacked path is ~parity with a per-site batched
+    # loop (the win over that baseline grows with fleet size); the ratio
+    # hovers around 1.0x, so only guard against a pathological slowdown —
+    # a tight floor here flakes on loaded runners.
+    assert vs_persite > 0.5, f"stacked fleet much slower than per-site batched loop ({vs_persite:.2f}x)"
 
 
 def test_kernel_omp_localization(benchmark, office_matrix):

@@ -13,15 +13,22 @@ database.  The script reports, per time stamp:
 Run with::
 
     python examples/office_long_term_update.py
+
+Set ``REPRO_EXAMPLE_QUICK=1`` to shrink the deployment and schedule (used by
+the headless example smoke test).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro import CampaignConfig, OMPLocalizer, SurveyCampaign, office_environment
 from repro.localization.metrics import summarize_errors
 from repro.simulation.collector import CollectionConfig
+
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
 
 
 def median_localization_error(campaign, matrix, test_indices, measurements) -> float:
@@ -36,17 +43,25 @@ def median_localization_error(campaign, matrix, test_indices, measurements) -> f
 
 
 def main() -> None:
+    spec = (
+        office_environment(link_count=4, locations_per_link=5)
+        if QUICK
+        else office_environment()
+    )
+    stamps = (3.0, 45.0) if QUICK else (3.0, 5.0, 15.0, 45.0, 90.0)
     campaign = SurveyCampaign(
-        office_environment(),
+        spec,
         CampaignConfig(
-            timestamps_days=(0.0, 3.0, 5.0, 15.0, 45.0, 90.0),
-            collection=CollectionConfig(survey_samples=8, reference_samples=5),
+            timestamps_days=(0.0, *stamps),
+            collection=CollectionConfig(
+                survey_samples=3 if QUICK else 8, reference_samples=5
+            ),
             seed=7,
         ),
     )
     original = campaign.database.original
     updater = campaign.make_updater()
-    test_indices = campaign.sample_test_locations(40)
+    test_indices = campaign.sample_test_locations(8 if QUICK else 40)
 
     print("Office deployment, 3-month maintenance schedule")
     print(f"Reference locations re-measured per update: {len(updater.reference_indices)}")
@@ -57,7 +72,7 @@ def main() -> None:
     )
     print(header)
 
-    for days in (3.0, 5.0, 15.0, 45.0, 90.0):
+    for days in stamps:
         ground_truth = campaign.ground_truth(days)
         drift = np.mean(np.abs(ground_truth.values - original.values))
         result = campaign.run_update(days, updater=updater)

@@ -13,24 +13,37 @@ testbed:
 Run with::
 
     python examples/quickstart.py
+
+Set ``REPRO_EXAMPLE_QUICK=1`` to shrink the deployment (used by the headless
+example smoke test).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro import CampaignConfig, OMPLocalizer, SurveyCampaign, office_environment
 from repro.simulation.collector import CollectionConfig
 
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
     # ---------------------------------------------------------------- setup
-    spec = office_environment()
+    spec = (
+        office_environment(link_count=4, locations_per_link=5)
+        if QUICK
+        else office_environment()
+    )
     campaign = SurveyCampaign(
         spec,
         CampaignConfig(
             timestamps_days=(0.0, 45.0),
-            collection=CollectionConfig(survey_samples=10, reference_samples=5),
+            collection=CollectionConfig(
+                survey_samples=3 if QUICK else 10, reference_samples=5
+            ),
             seed=42,
         ),
     )
@@ -61,7 +74,8 @@ def main() -> None:
     localizer_updated = OMPLocalizer(result.matrix, locations)
     localizer_stale = OMPLocalizer(original, locations)
 
-    true_location = 37  # a grid index in the middle of the area
+    # A grid index in the middle of the area.
+    true_location = 7 if QUICK else 37
     online = campaign.collector.online_measurement(true_location, elapsed_days=45.0)
 
     estimate_updated = localizer_updated.localize_point(online)

@@ -8,17 +8,26 @@ The package is organised around the paper's pipeline:
 * :mod:`repro.core` implements the paper's contribution: MIC selection,
   low-rank representation, the basic and self-augmented RSVD solvers and the
   high-level :class:`~repro.core.updater.IUpdater` pipeline.
+* :mod:`repro.service` is the canonical entry point for refreshing
+  fingerprint databases: the :class:`~repro.service.service.UpdateService`
+  request/response API runs whole fleets of sites through one stacked
+  batched solve per sweep, and
+  :class:`~repro.service.fleet.FleetCampaign` drives the paper's three
+  environments per survey stamp.  ``IUpdater`` remains as a single-site
+  adapter over the service.
 * :mod:`repro.localization` implements the OMP localizer and the KNN / SVR /
   RASS baselines.
 * :mod:`repro.simulation` drives multi-timestamp survey campaigns and the
   labor-cost model.
 * :mod:`repro.experiments` regenerates every figure of the paper's
-  evaluation section.
+  evaluation section and exposes the CLI (including the ``fleet``
+  subcommand).
 """
 
 from repro.core.updater import IUpdater, UpdaterConfig, UpdateResult
 from repro.environments import (
     build_deployment,
+    environment_by_name,
     hall_environment,
     library_environment,
     office_environment,
@@ -26,11 +35,25 @@ from repro.environments import (
 from repro.fingerprint.matrix import FingerprintMatrix
 from repro.fingerprint.database import FingerprintDatabase
 from repro.localization.omp import OMPLocalizer
+from repro.service import (
+    FleetCampaign,
+    FleetConfig,
+    FleetReport,
+    UpdateReport,
+    UpdateRequest,
+    UpdateService,
+)
 from repro.simulation.campaign import SurveyCampaign, CampaignConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "UpdateRequest",
+    "UpdateReport",
+    "FleetReport",
+    "UpdateService",
+    "FleetCampaign",
+    "FleetConfig",
     "IUpdater",
     "UpdaterConfig",
     "UpdateResult",
@@ -42,6 +65,7 @@ __all__ = [
     "office_environment",
     "library_environment",
     "hall_environment",
+    "environment_by_name",
     "build_deployment",
     "__version__",
 ]

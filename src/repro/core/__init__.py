@@ -11,6 +11,9 @@
   Section IV-A.
 * :mod:`repro.core.self_augmented` — the self-augmented RSVD solver
   (Algorithm 1) combining the basic RSVD with both constraints.
+* :mod:`repro.core.stacked` — the lockstep driver advancing many sites'
+  :class:`~repro.core.self_augmented.SweepState` solves through one stacked
+  batched solve per sweep (the fleet service's engine).
 * :mod:`repro.core.analysis` — SVD / NLC / ALS diagnostics used in Section II.
 * :mod:`repro.core.updater` — the high-level :class:`IUpdater` pipeline.
 """
@@ -32,8 +35,11 @@ from repro.core.rsvd import RSVDConfig, RSVDResult, rsvd_complete
 from repro.core.self_augmented import (
     SelfAugmentedConfig,
     SelfAugmentedResult,
+    SweepState,
     self_augmented_rsvd,
+    solve_state,
 )
+from repro.core.stacked import run_stacked_sweeps, solve_states
 from repro.core.updater import IUpdater, UpdaterConfig, UpdateResult
 
 __all__ = [
@@ -54,7 +60,11 @@ __all__ = [
     "rsvd_complete",
     "SelfAugmentedConfig",
     "SelfAugmentedResult",
+    "SweepState",
     "self_augmented_rsvd",
+    "solve_state",
+    "run_stacked_sweeps",
+    "solve_states",
     "IUpdater",
     "UpdaterConfig",
     "UpdateResult",

@@ -41,7 +41,13 @@ from repro.utils.linalg import batched_safe_solve, masked_gram_stack, safe_solve
 from repro.utils.random import RngLike, make_rng
 from repro.utils.validation import check_2d, check_matching_shapes
 
-__all__ = ["SelfAugmentedConfig", "SelfAugmentedResult", "self_augmented_rsvd"]
+__all__ = [
+    "SelfAugmentedConfig",
+    "SelfAugmentedResult",
+    "self_augmented_rsvd",
+    "solve_state",
+    "SweepState",
+]
 
 
 @dataclass(frozen=True)
@@ -173,6 +179,240 @@ def _extract_stripes(matrix: np.ndarray, locations_per_link: int) -> np.ndarray:
     return xd
 
 
+class SweepState:
+    """Validated, resumable state of one self-augmented ALS solve.
+
+    The state owns everything :func:`self_augmented_rsvd` needs between
+    sweeps: the validated inputs, the (possibly auto-scaled) constraint
+    weights, the hoisted Constraint-2 constants, the current factors and the
+    convergence bookkeeping.  Each sweep is driven from outside in four
+    steps — :meth:`begin_sweep`, a solve of :meth:`right_systems`, a solve of
+    :meth:`left_systems`, :meth:`finish_sweep` — which is what lets the
+    fleet-stacked solver (:mod:`repro.core.stacked`) advance many sites in
+    lockstep while concatenating their per-sweep systems into a single
+    batched solve.  Driving a single state to convergence reproduces the
+    batched backend of :func:`self_augmented_rsvd` bit for bit.
+    """
+
+    def __init__(
+        self,
+        observed: np.ndarray,
+        mask: np.ndarray,
+        locations_per_link: int,
+        prediction: Optional[np.ndarray] = None,
+        config: Optional[SelfAugmentedConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        observed = check_2d(observed, "observed")
+        mask = check_2d(mask, "mask")
+        check_matching_shapes(observed, mask, "observed", "mask")
+        if not np.all(np.isin(mask, (0.0, 1.0))):
+            raise ValueError("mask must contain only 0 and 1")
+        m, n = observed.shape
+        if locations_per_link <= 0 or n != m * locations_per_link:
+            raise ValueError(
+                f"locations_per_link={locations_per_link} inconsistent with matrix shape {observed.shape}"
+            )
+        cfg = config or SelfAugmentedConfig()
+        if prediction is not None:
+            prediction = check_2d(prediction, "prediction")
+            check_matching_shapes(prediction, observed, "prediction", "observed")
+
+        self.observed = observed
+        self.mask = mask
+        self.locations_per_link = locations_per_link
+        self.prediction = prediction
+        self.cfg = cfg
+        self.m = m
+        self.n = n
+        self.use_reference = cfg.use_reference_constraint and prediction is not None
+        self.use_structure = cfg.use_structure_constraint
+        self.g = continuity_matrix(locations_per_link) if self.use_structure else None
+        self.h = similarity_matrix(m) if self.use_structure else None
+
+        rank = cfg.rank if cfg.rank is not None else m
+        self.rank = min(rank, m, n)
+        self.lam = cfg.regularization
+        self.identity = np.eye(self.rank)
+
+        self.left = cfg.init_scale * make_rng(rng).standard_normal((m, self.rank))
+        self.right = np.zeros((n, self.rank))
+        self.stripe_map = _stripe_views(n, m)
+
+        # ------------------------------------------------------------ weights
+        # Scale the constraint terms to the same order of magnitude as the
+        # data-fit term (Section IV-E).  The data-fit magnitude is estimated
+        # from the observed entries; the reference term from the prediction.
+        data_scale = float(np.sum(observed**2)) or 1.0
+        if self.use_reference:
+            if cfg.reference_weight is not None:
+                self.w1 = cfg.reference_weight
+            else:
+                reference_scale = float(np.sum(np.asarray(prediction) ** 2)) or 1.0
+                self.w1 = data_scale / reference_scale
+        else:
+            self.w1 = 0.0
+        if self.use_structure:
+            if cfg.structure_weight is not None:
+                self.w2 = cfg.structure_weight
+            else:
+                # The structural penalties act on per-element dB differences,
+                # the same scale as the per-element data-fit residuals; a
+                # small sub-unit weight keeps them influential for outlier
+                # suppression without blurring the discriminative structure
+                # of the columns.
+                self.w2 = 0.1
+        else:
+            self.w2 = 0.0
+
+        self.masked_observed = mask * observed
+        self.prediction_array = (
+            np.asarray(prediction) if self.use_reference else None
+        )
+        if self.use_structure:
+            # Constraint-2 coefficients are functions of the constant G / H
+            # matrices only: hoist them out of the sweep instead of
+            # recomputing np.sum(G[:, jj]**2) per column per iteration.
+            self.g_column_sq = np.sum(np.asarray(self.g) ** 2, axis=0)
+            self.h_column_sq = np.sum(np.asarray(self.h) ** 2, axis=0)
+            self.stripe_links = self.stripe_map[:, 0]
+            self.stripe_offsets = self.stripe_map[:, 1]
+            self.structural_scale = self.w2 * (
+                self.g_column_sq[self.stripe_offsets]
+                + self.h_column_sq[self.stripe_links]
+            )
+
+        self.previous_objective = np.inf
+        self.converged = False
+        self.iterations = 0
+        self._structure_active = False
+        self._estimate_stripe: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------- sweep driver
+    @property
+    def active(self) -> bool:
+        """Whether another sweep should run (not converged, budget left)."""
+        return not self.converged and self.iterations < self.cfg.max_iterations
+
+    def begin_sweep(self) -> None:
+        """Start the next sweep: advance the iteration counter and evaluate
+        the Constraint-2 structural targets on the estimate of the *previous*
+        sweep (or the Constraint-1 prediction on the first sweep), once per
+        sweep: pulling every stripe element towards the average of its
+        along-link neighbours (continuity, matrix G) and towards the adjacent
+        link's value at the same relative position (similarity, matrix H)."""
+        self.iterations += 1
+        self._structure_active = self.use_structure and (
+            self.iterations > 1 or self.use_reference
+        )
+        if self._structure_active:
+            if self.iterations == 1:
+                reference_estimate = np.asarray(self.prediction)
+            else:
+                reference_estimate = self.left @ self.right.T
+            self._estimate_stripe = _extract_stripes(
+                reference_estimate, self.locations_per_link
+            )
+
+    def right_systems(self) -> tuple:
+        """Stacked normal equations of the R-column update.
+
+        Every column system shares lhs = lam I + L^T diag(B[:, j]) L plus the
+        (column-independent) Constraint-1 Gram term and a rank-1 Constraint-2
+        correction; stacking all n of them lets one batched LAPACK call solve
+        the whole sweep.
+        """
+        lhs = self.lam * self.identity[None, :, :] + masked_gram_stack(
+            self.left, self.mask
+        )
+        rhs = self.masked_observed.T @ self.left
+        if self.use_reference:
+            lhs = lhs + self.w1 * (self.left.T @ self.left)[None, :, :]
+            rhs = rhs + self.w1 * (self.prediction_array.T @ self.left)
+        if self._structure_active:
+            stripe_rows = self.left[self.stripe_links, :]
+            lhs = lhs + self.structural_scale[:, None, None] * (
+                stripe_rows[:, :, None] * stripe_rows[:, None, :]
+            )
+            neighbour_targets = _neighbour_average_stripes(self._estimate_stripe)
+            adjacent_targets = _adjacent_link_stripes(self._estimate_stripe)
+            target_scale = self.w2 * (
+                self.g_column_sq[self.stripe_offsets]
+                * neighbour_targets[self.stripe_links, self.stripe_offsets]
+                + self.h_column_sq[self.stripe_links]
+                * adjacent_targets[self.stripe_links, self.stripe_offsets]
+            )
+            rhs = rhs + target_scale[:, None] * stripe_rows
+        return lhs, rhs
+
+    def set_right(self, solution: np.ndarray) -> None:
+        """Install the solved R factor for the current sweep."""
+        self.right = solution
+
+    def left_systems(self) -> tuple:
+        """Stacked normal equations of the L-row update."""
+        lhs = self.lam * self.identity[None, :, :] + masked_gram_stack(
+            self.right, self.mask.T
+        )
+        rhs = self.masked_observed @ self.right
+        if self.use_reference:
+            lhs = lhs + self.w1 * (self.right.T @ self.right)[None, :, :]
+            rhs = rhs + self.w1 * (self.prediction_array @ self.right)
+        return lhs, rhs
+
+    def set_left(self, solution: np.ndarray) -> None:
+        """Install the solved L factor for the current sweep."""
+        self.left = solution
+
+    def finish_sweep(self) -> bool:
+        """Evaluate the objective and update the convergence bookkeeping."""
+        objective = _objective(
+            self.left,
+            self.right,
+            self.observed,
+            self.mask,
+            self.prediction if self.use_reference else None,
+            self.g,
+            self.h,
+            self.locations_per_link,
+            self.lam,
+            self.w1,
+            self.w2,
+        )
+        if self.previous_objective < np.inf:
+            change = abs(self.previous_objective - objective) / max(
+                self.previous_objective, 1e-12
+            )
+            if change < self.cfg.tolerance:
+                self.previous_objective = objective
+                self.converged = True
+                return True
+        self.previous_objective = objective
+        return False
+
+    def finalize(self) -> SelfAugmentedResult:
+        """Package the converged factors as a :class:`SelfAugmentedResult`."""
+        estimate = self.left @ self.right.T
+        if self.use_structure:
+            estimate = _smooth_stripes(
+                estimate,
+                self.locations_per_link,
+                g=np.asarray(self.g),
+                h=np.asarray(self.h),
+                weight=0.6,
+            )
+        return SelfAugmentedResult(
+            estimate=estimate,
+            left=self.left,
+            right=self.right,
+            objective=float(self.previous_objective),
+            iterations=self.iterations,
+            converged=self.converged,
+            reference_weight=float(self.w1),
+            structure_weight=float(self.w2),
+        )
+
+
 def self_augmented_rsvd(
     observed: np.ndarray,
     mask: np.ndarray,
@@ -202,210 +442,94 @@ def self_augmented_rsvd(
     rng:
         Seed or generator for the random initialisation ``L0``.
     """
-    observed = check_2d(observed, "observed")
-    mask = check_2d(mask, "mask")
-    check_matching_shapes(observed, mask, "observed", "mask")
-    if not np.all(np.isin(mask, (0.0, 1.0))):
-        raise ValueError("mask must contain only 0 and 1")
-    m, n = observed.shape
-    if locations_per_link <= 0 or n != m * locations_per_link:
-        raise ValueError(
-            f"locations_per_link={locations_per_link} inconsistent with matrix shape {observed.shape}"
-        )
-    cfg = config or SelfAugmentedConfig()
-    rng = make_rng(rng)
-
-    if prediction is not None:
-        prediction = check_2d(prediction, "prediction")
-        check_matching_shapes(prediction, observed, "prediction", "observed")
-    use_reference = cfg.use_reference_constraint and prediction is not None
-    use_structure = cfg.use_structure_constraint
-
-    g = continuity_matrix(locations_per_link) if use_structure else None
-    h = similarity_matrix(m) if use_structure else None
-
-    rank = cfg.rank if cfg.rank is not None else m
-    rank = min(rank, m, n)
-    lam = cfg.regularization
-    identity = np.eye(rank)
-
-    left = cfg.init_scale * rng.standard_normal((m, rank))
-    right = np.zeros((n, rank))
-    stripe_map = _stripe_views(n, m)
-
-    # ------------------------------------------------------------------ weights
-    # Scale the constraint terms to the same order of magnitude as the
-    # data-fit term (Section IV-E).  The data-fit magnitude is estimated from
-    # the observed entries; the reference term from the prediction matrix.
-    data_scale = float(np.sum(observed**2)) or 1.0
-    if use_reference:
-        if cfg.reference_weight is not None:
-            w1 = cfg.reference_weight
-        else:
-            reference_scale = float(np.sum(np.asarray(prediction) ** 2)) or 1.0
-            w1 = data_scale / reference_scale
-    else:
-        w1 = 0.0
-    if use_structure:
-        if cfg.structure_weight is not None:
-            w2 = cfg.structure_weight
-        else:
-            # The structural penalties act on per-element dB differences, the
-            # same scale as the per-element data-fit residuals; a small
-            # sub-unit weight keeps them influential for outlier suppression
-            # without blurring the discriminative structure of the columns.
-            w2 = 0.1
-    else:
-        w2 = 0.0
-
-    batched = cfg.solver_backend == "batched"
-    masked_observed = mask * observed
-    prediction_array = np.asarray(prediction) if use_reference else None
-    if batched and use_structure:
-        # Constraint-2 coefficients are functions of the constant G / H
-        # matrices only: hoist them out of the sweep instead of recomputing
-        # np.sum(G[:, jj]**2) per column per iteration.
-        g_column_sq = np.sum(np.asarray(g) ** 2, axis=0)
-        h_column_sq = np.sum(np.asarray(h) ** 2, axis=0)
-        stripe_links = stripe_map[:, 0]
-        stripe_offsets = stripe_map[:, 1]
-        structural_scale = w2 * (
-            g_column_sq[stripe_offsets] + h_column_sq[stripe_links]
-        )
-
-    previous_objective = np.inf
-    converged = False
-    iterations = 0
-
-    for iterations in range(1, cfg.max_iterations + 1):
-        # Structural targets (Constraint 2) are evaluated on the estimate of
-        # the *previous* sweep (or the Constraint-1 prediction on the first
-        # sweep), once per sweep: pulling every stripe element towards the
-        # average of its along-link neighbours (continuity, matrix G) and
-        # towards the adjacent link's value at the same relative position
-        # (similarity, matrix H).
-        structure_active = use_structure and (iterations > 1 or use_reference)
-        if structure_active:
-            if iterations == 1:
-                reference_estimate = np.asarray(prediction)
-            else:
-                reference_estimate = left @ right.T
-            estimate_stripe = _extract_stripes(reference_estimate, locations_per_link)
-
-        if batched:
-            # ------------------------------------------------ update R columns
-            # Every column system shares lhs = lam I + L^T diag(B[:, j]) L
-            # plus the (column-independent) Constraint-1 Gram term and a
-            # rank-1 Constraint-2 correction; stack all n of them and solve
-            # with one batched LAPACK call.
-            lhs = lam * identity[None, :, :] + masked_gram_stack(left, mask)
-            rhs = masked_observed.T @ left
-            if use_reference:
-                lhs = lhs + w1 * (left.T @ left)[None, :, :]
-                rhs = rhs + w1 * (prediction_array.T @ left)
-            if structure_active:
-                stripe_rows = left[stripe_links, :]
-                lhs = lhs + structural_scale[:, None, None] * (
-                    stripe_rows[:, :, None] * stripe_rows[:, None, :]
-                )
-                neighbour_targets = _neighbour_average_stripes(estimate_stripe)
-                adjacent_targets = _adjacent_link_stripes(estimate_stripe)
-                target_scale = w2 * (
-                    g_column_sq[stripe_offsets]
-                    * neighbour_targets[stripe_links, stripe_offsets]
-                    + h_column_sq[stripe_links]
-                    * adjacent_targets[stripe_links, stripe_offsets]
-                )
-                rhs = rhs + target_scale[:, None] * stripe_rows
-            right = batched_safe_solve(lhs, rhs)
-
-            # --------------------------------------------------- update L rows
-            lhs = lam * identity[None, :, :] + masked_gram_stack(right, mask.T)
-            rhs = masked_observed @ right
-            if use_reference:
-                lhs = lhs + w1 * (right.T @ right)[None, :, :]
-                rhs = rhs + w1 * (prediction_array @ right)
-            left = batched_safe_solve(lhs, rhs)
-        else:
-            # -------------------------------------- update R columns (looped)
-            for j in range(n):
-                ii, jj = int(stripe_map[j, 0]), int(stripe_map[j, 1])
-                weights = mask[:, j]
-                lw = left * weights[:, None]
-                lhs = lam * identity + lw.T @ left
-                rhs = lw.T @ observed[:, j]
-                if use_reference:
-                    lhs = lhs + w1 * (left.T @ left)
-                    rhs = rhs + w1 * (left.T @ np.asarray(prediction)[:, j])
-                if structure_active:
-                    l_row = left[ii, :]
-                    # Continuity: column jj of G weights how strongly the
-                    # stripe element at j participates in the Laplacian
-                    # penalty.
-                    g_weight = float(np.sum(np.asarray(g)[:, jj] ** 2))
-                    # Similarity: row differences through H acting on link ii.
-                    h_weight = float(np.sum(np.asarray(h)[:, ii] ** 2))
-                    structural = w2 * (g_weight + h_weight)
-                    lhs = lhs + structural * np.outer(l_row, l_row)
-                    neighbour_target = _neighbour_average(estimate_stripe, ii, jj)
-                    adjacent_target = _adjacent_link_value(estimate_stripe, ii, jj)
-                    rhs = rhs + w2 * (
-                        g_weight * neighbour_target + h_weight * adjacent_target
-                    ) * l_row
-                right[j, :] = safe_solve(lhs, rhs)
-
-            # ------------------------------------------ update L rows (looped)
-            for i in range(m):
-                weights = mask[i, :]
-                rw = right * weights[:, None]
-                lhs = lam * identity + rw.T @ right
-                rhs = rw.T @ observed[i, :]
-                if use_reference:
-                    lhs = lhs + w1 * (right.T @ right)
-                    rhs = rhs + w1 * (right.T @ np.asarray(prediction)[i, :])
-                left[i, :] = safe_solve(lhs, rhs)
-
-        objective = _objective(
-            left,
-            right,
-            observed,
-            mask,
-            prediction if use_reference else None,
-            g,
-            h,
-            locations_per_link,
-            lam,
-            w1,
-            w2,
-        )
-        if previous_objective < np.inf:
-            change = abs(previous_objective - objective) / max(previous_objective, 1e-12)
-            if change < cfg.tolerance:
-                previous_objective = objective
-                converged = True
-                break
-        previous_objective = objective
-
-    estimate = left @ right.T
-    if use_structure:
-        estimate = _smooth_stripes(
-            estimate,
-            locations_per_link,
-            g=np.asarray(g),
-            h=np.asarray(h),
-            weight=0.6,
-        )
-
-    return SelfAugmentedResult(
-        estimate=estimate,
-        left=left,
-        right=right,
-        objective=float(previous_objective),
-        iterations=iterations,
-        converged=converged,
-        reference_weight=float(w1),
-        structure_weight=float(w2),
+    state = SweepState(
+        observed, mask, locations_per_link, prediction, config, rng
     )
+    return solve_state(state)
+
+
+def solve_state(state: SweepState) -> SelfAugmentedResult:
+    """Drive a prepared :class:`SweepState` to convergence.
+
+    Dispatches on the state's configured solver backend; this is the entry
+    point the fleet service uses for sites it cannot stack (looped backend)
+    and what :func:`self_augmented_rsvd` runs for a standalone solve.
+    """
+    if state.cfg.solver_backend == "batched":
+        while state.active:
+            state.begin_sweep()
+            state.set_right(batched_safe_solve(*state.right_systems()))
+            state.set_left(batched_safe_solve(*state.left_systems()))
+            state.finish_sweep()
+        return state.finalize()
+    return _self_augmented_rsvd_looped(state)
+
+
+def _self_augmented_rsvd_looped(state: SweepState) -> SelfAugmentedResult:
+    """Per-column reference implementation driven off a prepared state.
+
+    Shares the :class:`SweepState` sweep lifecycle (structural-target
+    evaluation, convergence bookkeeping, result packaging) with the batched
+    backend and re-derives only the inner normal-equation solves the
+    per-column/per-row reference way, so the state's bookkeeping stays
+    authoritative for either backend.
+    """
+    observed, mask = state.observed, state.mask
+    prediction = state.prediction
+    use_reference = state.use_reference
+    g, h = state.g, state.h
+    m, n = state.m, state.n
+    lam, identity = state.lam, state.identity
+    w1, w2 = state.w1, state.w2
+    left, right = state.left, state.right
+    stripe_map = state.stripe_map
+
+    while state.active:
+        state.begin_sweep()
+        structure_active = state._structure_active
+        estimate_stripe = state._estimate_stripe
+
+        # ------------------------------------------ update R columns (looped)
+        for j in range(n):
+            ii, jj = int(stripe_map[j, 0]), int(stripe_map[j, 1])
+            weights = mask[:, j]
+            lw = left * weights[:, None]
+            lhs = lam * identity + lw.T @ left
+            rhs = lw.T @ observed[:, j]
+            if use_reference:
+                lhs = lhs + w1 * (left.T @ left)
+                rhs = rhs + w1 * (left.T @ np.asarray(prediction)[:, j])
+            if structure_active:
+                l_row = left[ii, :]
+                # Continuity: column jj of G weights how strongly the
+                # stripe element at j participates in the Laplacian
+                # penalty.
+                g_weight = float(np.sum(np.asarray(g)[:, jj] ** 2))
+                # Similarity: row differences through H acting on link ii.
+                h_weight = float(np.sum(np.asarray(h)[:, ii] ** 2))
+                structural = w2 * (g_weight + h_weight)
+                lhs = lhs + structural * np.outer(l_row, l_row)
+                neighbour_target = _neighbour_average(estimate_stripe, ii, jj)
+                adjacent_target = _adjacent_link_value(estimate_stripe, ii, jj)
+                rhs = rhs + w2 * (
+                    g_weight * neighbour_target + h_weight * adjacent_target
+                ) * l_row
+            right[j, :] = safe_solve(lhs, rhs)
+
+        # ---------------------------------------------- update L rows (looped)
+        for i in range(m):
+            weights = mask[i, :]
+            rw = right * weights[:, None]
+            lhs = lam * identity + rw.T @ right
+            rhs = rw.T @ observed[i, :]
+            if use_reference:
+                lhs = lhs + w1 * (right.T @ right)
+                rhs = rhs + w1 * (right.T @ np.asarray(prediction)[i, :])
+            left[i, :] = safe_solve(lhs, rhs)
+
+        state.finish_sweep()
+
+    return state.finalize()
 
 
 def _neighbour_average(stripes: np.ndarray, link: int, offset: int) -> float:

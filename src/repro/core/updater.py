@@ -26,11 +26,7 @@ import numpy as np
 from repro.core.lrr import LRRConfig, LRRResult, low_rank_representation
 from repro.core.mic import MICResult, select_reference_locations
 from repro.core.rsvd import validate_solver_backend
-from repro.core.self_augmented import (
-    SelfAugmentedConfig,
-    SelfAugmentedResult,
-    self_augmented_rsvd,
-)
+from repro.core.self_augmented import SelfAugmentedConfig, SelfAugmentedResult
 from repro.fingerprint.matrix import FingerprintMatrix
 from repro.utils.random import RngLike
 from repro.utils.validation import check_2d
@@ -180,6 +176,13 @@ class IUpdater:
     ) -> UpdateResult:
         """Reconstruct the fingerprint matrix from fresh measurements.
 
+        This is now a thin single-site adapter over the fleet service
+        (:class:`repro.service.UpdateService`): the call builds a one-site
+        :class:`~repro.service.types.UpdateRequest` carrying the pipeline's
+        cached MIC / LRR results and returns the service's
+        :class:`UpdateResult` unchanged, so existing callers keep identical
+        results (pinned by ``tests/service/test_fleet_parity.py``).
+
         Parameters
         ----------
         no_decrease_matrix:
@@ -194,6 +197,11 @@ class IUpdater:
             Column indices the reference measurements correspond to.
             Defaults to the pipeline's own MIC selection.
         """
+        # Imported here: repro.service builds on this module, so the shim
+        # cannot import it at module load time.
+        from repro.service.service import UpdateService
+        from repro.service.types import UpdateRequest
+
         no_decrease_matrix = check_2d(no_decrease_matrix, "no_decrease_matrix")
         no_decrease_mask = check_2d(no_decrease_mask, "no_decrease_mask")
         reference_matrix = check_2d(reference_matrix, "reference_matrix")
@@ -202,44 +210,16 @@ class IUpdater:
         if reference_indices is None:
             reference_indices = mic.indices
         reference_indices = tuple(int(i) for i in reference_indices)
-        if reference_matrix.shape[1] != len(reference_indices):
-            raise ValueError(
-                "reference_matrix must have one column per reference index"
-            )
 
-        # Constraint 1 prediction P = X_R Z, valid when the reference columns
-        # match the MIC columns the correlation matrix was built from.
-        if len(reference_indices) == lrr.correlation.shape[0]:
-            prediction = lrr.predict(reference_matrix)
-        else:
-            prediction = None
-
-        observed = no_decrease_matrix.copy()
-        mask = no_decrease_mask.copy()
-        if self.config.include_reference_in_mask:
-            for k, j in enumerate(reference_indices):
-                observed[:, j] = reference_matrix[:, k]
-                mask[:, j] = 1.0
-
-        solver_result = self_augmented_rsvd(
-            observed=observed,
-            mask=mask,
-            locations_per_link=self.baseline.locations_per_link,
-            prediction=prediction,
-            config=self.config.resolved_solver(),
-            rng=self._rng,
-        )
-        matrix = FingerprintMatrix(
-            values=solver_result.estimate,
-            locations_per_link=self.baseline.locations_per_link,
-            no_decrease_mask=self.baseline.no_decrease_mask.copy()
-            if self.baseline.no_decrease_mask is not None
-            else None,
-        )
-        return UpdateResult(
-            matrix=matrix,
+        request = UpdateRequest(
+            site="site",
+            baseline=self.baseline,
+            no_decrease_matrix=no_decrease_matrix,
+            no_decrease_mask=no_decrease_mask,
+            reference_matrix=reference_matrix,
             reference_indices=reference_indices,
-            mic=mic,
-            lrr=lrr,
-            solver=solver_result,
+            config=self.config,
+            rng=self._rng,
+            correlation=(mic, lrr),
         )
+        return UpdateService().update(request).result

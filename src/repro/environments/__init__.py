@@ -9,8 +9,34 @@ from repro.environments.office import office_environment
 __all__ = [
     "Deployment",
     "EnvironmentSpec",
+    "ENVIRONMENT_FACTORIES",
     "build_deployment",
+    "environment_by_name",
     "office_environment",
     "library_environment",
     "hall_environment",
 ]
+
+ENVIRONMENT_FACTORIES = {
+    "office": office_environment,
+    "hall": hall_environment,
+    "library": library_environment,
+}
+"""Registry mapping environment names to their spec factories."""
+
+
+def environment_by_name(name: str, **overrides) -> EnvironmentSpec:
+    """Build an environment spec from its registered name.
+
+    Keyword overrides (e.g. ``link_count``, ``locations_per_link``) are
+    forwarded to the factory, which is how the fleet CLI shrinks the paper
+    testbeds down to CI-sized deployments.
+    """
+    try:
+        factory = ENVIRONMENT_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown environment {name!r}; expected one of "
+            f"{sorted(ENVIRONMENT_FACTORIES)}"
+        ) from None
+    return factory(**overrides)

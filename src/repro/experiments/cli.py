@@ -6,6 +6,11 @@ writing any code::
     python -m repro.experiments.cli list
     python -m repro.experiments.cli run labor_cost_savings
     python -m repro.experiments.cli run fig21_localization_cdf --preset full
+    python -m repro.experiments.cli fleet --environments office,hall,library
+
+The ``fleet`` subcommand drives the update service across several
+environments at once (one stacked batched solve per sweep) and reports
+per-site and aggregate refresh quality.
 
 The output uses the same text formatters as the benchmark harness, so the
 rows can be compared directly against the paper's figures.
@@ -15,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Iterable, Optional
 
 import numpy as np
@@ -22,12 +28,30 @@ import numpy as np
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import (
     format_cdf_summary,
+    format_fleet_report,
     format_key_values,
     format_series_table,
 )
 from repro.experiments.runner import ExperimentRunner
 
-__all__ = ["main", "build_parser", "render_result"]
+__all__ = ["main", "build_parser", "render_result", "run_fleet"]
+
+
+def _parse_environments(value: str) -> list:
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("expected a comma-separated environment list")
+    return names
+
+
+def _parse_days(value: str) -> list:
+    try:
+        days = [float(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of day stamps")
+    if not days or any(d <= 0 for d in days):
+        raise argparse.ArgumentTypeError("day stamps must be positive")
+    return days
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +74,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--seed", type=int, default=None, help="override the substrate random seed"
+    )
+
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="refresh a fleet of environments through the batched update service",
+    )
+    fleet_parser.add_argument(
+        "--environments",
+        type=_parse_environments,
+        default=["office", "hall", "library"],
+        help="comma-separated registered environment names (default: all three)",
+    )
+    fleet_parser.add_argument(
+        "--days",
+        type=_parse_days,
+        default=None,
+        help="comma-separated refresh stamps in days (default: the preset's stamps)",
+    )
+    fleet_parser.add_argument(
+        "--preset",
+        choices=("quick", "full"),
+        default="quick",
+        help="collection preset: 'quick' (CI-sized) or 'full' (paper protocol)",
+    )
+    fleet_parser.add_argument(
+        "--seed", type=int, default=None, help="override the substrate random seed"
+    )
+    fleet_parser.add_argument(
+        "--link-count",
+        type=int,
+        default=None,
+        help="override every site's link count (shrinks the deployments for CI)",
+    )
+    fleet_parser.add_argument(
+        "--locations-per-link",
+        type=int,
+        default=None,
+        help="override every site's stripe width (shrinks the deployments for CI)",
     )
     return parser
 
@@ -91,6 +153,50 @@ def render_result(name: str, result: dict) -> str:
     return "\n".join(lines)
 
 
+def run_fleet(args) -> int:
+    """Run the ``fleet`` subcommand: refresh several sites per survey stamp."""
+    from repro.environments import environment_by_name
+    from repro.service.fleet import FleetCampaign, FleetConfig
+
+    config = ExperimentConfig.full() if args.preset == "full" else ExperimentConfig.quick()
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    days = list(args.days) if args.days else list(config.later_timestamps)
+    config = replace(config, timestamps_days=(0.0, *sorted(set(days))))
+
+    if len(set(args.environments)) != len(args.environments):
+        print(f"duplicate environments: {', '.join(args.environments)}", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.link_count is not None:
+        overrides["link_count"] = args.link_count
+    if args.locations_per_link is not None:
+        overrides["locations_per_link"] = args.locations_per_link
+    try:
+        specs = {
+            name: environment_by_name(name, **overrides) for name in args.environments
+        }
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    fleet = FleetCampaign(
+        specs=specs,
+        config=FleetConfig(
+            environments=tuple(specs), campaign=config.campaign_config()
+        ),
+    )
+    print(
+        f"fleet: {', '.join(fleet.sites)} "
+        f"({sum(spec.total_locations for spec in specs.values())} grid locations total)"
+    )
+    for elapsed_days in sorted(set(days)):
+        report = fleet.refresh(elapsed_days)
+        print()
+        print(format_fleet_report(report))
+    return 0
+
+
 def main(argv: Optional[Iterable[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -101,16 +207,12 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             print(name)
         return 0
 
+    if args.command == "fleet":
+        return run_fleet(args)
+
     config = ExperimentConfig.full() if args.preset == "full" else ExperimentConfig.quick()
     if args.seed is not None:
-        config = ExperimentConfig(
-            timestamps_days=config.timestamps_days,
-            localization_trials=config.localization_trials,
-            seed=args.seed,
-            survey_samples=config.survey_samples,
-            reference_samples=config.reference_samples,
-            online_samples=config.online_samples,
-        )
+        config = replace(config, seed=args.seed)
     runner = ExperimentRunner(config)
 
     available = set(ExperimentRunner.available())

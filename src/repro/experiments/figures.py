@@ -31,6 +31,7 @@ from repro.fingerprint.matrix import FingerprintMatrix
 from repro.localization.knn import KNNLocalizer
 from repro.localization.omp import OMPLocalizer
 from repro.localization.rass import RASSLocalizer
+from repro.service.fleet import FleetCampaign, FleetConfig
 from repro.simulation.campaign import SurveyCampaign
 from repro.simulation.labor import LaborCostModel
 from repro.utils.cdf import empirical_cdf
@@ -54,6 +55,7 @@ __all__ = [
     "fig22_localization_environments",
     "fig23_rass_cdf",
     "fig24_rass_over_time",
+    "fleet_refresh",
     "labor_cost_savings",
 ]
 
@@ -485,6 +487,32 @@ def labor_cost_savings(
         "paper_traditional_minutes": 46.9,
         "paper_saving_vs_50_samples": 0.979,
         "paper_saving_vs_5_samples": 0.921,
+    }
+
+
+def fleet_refresh(
+    config: ExperimentConfig, cache: Optional[CampaignCache] = None
+) -> dict:
+    """Fleet service — refresh all three environments per stamp in one stacked solve."""
+    fleet = FleetCampaign(
+        specs=config.environments(),
+        config=FleetConfig(campaign=config.campaign_config()),
+    )
+    refreshes = fleet.refresh_all()
+    updated: Dict[str, Dict[float, float]] = {site: {} for site in fleet.sites}
+    stale: Dict[str, Dict[float, float]] = {site: {} for site in fleet.sites}
+    sweeps: Dict[str, float] = {}
+    for days, report in refreshes.items():
+        for site, error in report.errors_db.items():
+            updated[site][days] = error
+        for site, error in report.stale_errors_db.items():
+            stale[site][days] = error
+        sweeps[f"day_{days:g}"] = float(report.stacked_sweeps)
+    return {
+        "sites": len(fleet.sites),
+        "updated_error_db": updated,
+        "stale_error_db": stale,
+        "stacked_sweeps": sweeps,
     }
 
 

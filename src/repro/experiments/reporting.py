@@ -12,7 +12,12 @@ from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_series_table", "format_key_values", "format_cdf_summary"]
+__all__ = [
+    "format_series_table",
+    "format_key_values",
+    "format_cdf_summary",
+    "format_fleet_report",
+]
 
 
 def format_key_values(title: str, values: Mapping[str, float], unit: str = "") -> str:
@@ -45,6 +50,36 @@ def format_series_table(
             value = row.get(c)
             cells.append(f"{value:>12.3f}" if value is not None else f"{'-':>12}")
         lines.append(f"{label:<36}" + "".join(cells) + (f"  [{unit}]" if unit else ""))
+    return "\n".join(lines)
+
+
+def format_fleet_report(report) -> str:
+    """Render a :class:`~repro.service.types.FleetReport` as a text table.
+
+    One row per site (shape, sweeps, convergence, reconstruction error vs
+    the stale baseline) followed by the aggregate summary the fleet CLI
+    prints per refresh.
+    """
+    lines = [f"fleet refresh @ {report.elapsed_days:g} days"]
+    header = (
+        f"  {'site':<12}{'links':>6}{'grids':>7}{'sweeps':>8}{'conv':>6}"
+        f"{'error_db':>10}{'stale_db':>10}"
+    )
+    lines.append(header)
+    for site_report in report.reports:
+        matrix = site_report.matrix
+        error = report.errors_db.get(site_report.site)
+        stale = report.stale_errors_db.get(site_report.site)
+        lines.append(
+            f"  {site_report.site:<12}"
+            f"{matrix.link_count:>6}"
+            f"{matrix.location_count:>7}"
+            f"{site_report.sweeps:>8}"
+            f"{'yes' if site_report.converged else 'no':>6}"
+            + (f"{error:>10.3f}" if error is not None else f"{'-':>10}")
+            + (f"{stale:>10.3f}" if stale is not None else f"{'-':>10}")
+        )
+    lines.append(format_key_values("aggregate", report.aggregate()))
     return "\n".join(lines)
 
 

@@ -36,6 +36,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig22_localization_environments": figures.fig22_localization_environments,
     "fig23_rass_cdf": figures.fig23_rass_cdf,
     "fig24_rass_over_time": figures.fig24_rass_over_time,
+    "fleet_refresh": figures.fleet_refresh,
     "labor_cost_savings": figures.labor_cost_savings,
 }
 """Registry mapping experiment names to their implementation functions."""

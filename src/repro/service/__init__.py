@@ -1,0 +1,34 @@
+"""The fleet update service: "update a fleet of sites" as the first-class API.
+
+Where :class:`~repro.core.updater.IUpdater` refreshes one fingerprint
+database at a time, this package makes the multi-site workload primary:
+
+* :class:`~repro.service.types.UpdateRequest` /
+  :class:`~repro.service.types.UpdateReport` — the request/response model of
+  one site's refresh.
+* :class:`~repro.service.service.UpdateService` — accepts many sites'
+  matrices (heterogeneous shapes and ranks welcome) and runs every
+  alternating-least-squares sweep of the whole fleet as a single stacked
+  batched solve.
+* :class:`~repro.service.fleet.FleetCampaign` — builds the paper's
+  office / hall / library deployments and refreshes all of them per survey
+  stamp, returning per-site and aggregate
+  :class:`~repro.service.types.FleetReport` summaries.
+
+``IUpdater.update()`` is now a thin single-site adapter over this service
+path; see ``docs/API.md`` for the public surface.
+"""
+
+from repro.service.fleet import PAPER_FLEET, FleetCampaign, FleetConfig
+from repro.service.service import UpdateService
+from repro.service.types import FleetReport, UpdateReport, UpdateRequest
+
+__all__ = [
+    "UpdateRequest",
+    "UpdateReport",
+    "FleetReport",
+    "UpdateService",
+    "FleetCampaign",
+    "FleetConfig",
+    "PAPER_FLEET",
+]

@@ -1,0 +1,187 @@
+"""The batched multi-site update service.
+
+``UpdateService`` is the canonical way to refresh fingerprint databases.  It
+accepts any number of :class:`~repro.service.types.UpdateRequest` objects —
+sites with heterogeneous matrix shapes and factorisation ranks are fine —
+and runs the whole fleet's MIC selection, LRR solve and self-augmented RSVD
+through the batched linear-algebra primitives:
+
+* MIC + LRR are per-site by nature (each site has its own baseline) and are
+  skipped entirely when the request carries a precomputed ``correlation``;
+* every alternating-least-squares sweep concatenates all sites' per-column /
+  per-row normal-equation stacks into **one** batched LAPACK solve via
+  :func:`~repro.core.stacked.run_stacked_sweeps`, rather than looping a
+  Python-level solver over the sites.
+
+Per-site results are bit-identical to independent
+:meth:`~repro.core.updater.IUpdater.update` runs (pinned by
+``tests/service/test_fleet_parity.py``): batched LU factorises each slice
+independently, and heterogeneous ranks are solved per rank group rather than
+padded, so no site's floating-point result is perturbed.
+
+Sites configured with the ``"looped"`` reference backend cannot ride the
+stacked solve; the service runs them through the same reference path
+``IUpdater`` would use, so mixed fleets stay correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lrr import LRRResult, low_rank_representation
+from repro.core.mic import MICResult, select_reference_locations
+from repro.core.self_augmented import SelfAugmentedResult, SweepState, solve_state
+from repro.core.stacked import run_stacked_sweeps
+from repro.core.updater import UpdateResult
+from repro.fingerprint.matrix import FingerprintMatrix
+from repro.service.types import UpdateReport, UpdateRequest
+
+__all__ = ["UpdateService"]
+
+
+@dataclass
+class _PreparedSite:
+    """A request after Inherent Correlation Acquisition, ready to solve."""
+
+    request: UpdateRequest
+    mic: MICResult
+    lrr: LRRResult
+    reference_indices: Tuple[int, ...]
+    state: SweepState
+
+    @property
+    def backend(self) -> str:
+        return self.state.cfg.solver_backend
+
+    def report(self, solver_result: SelfAugmentedResult) -> UpdateReport:
+        request = self.request
+        baseline = request.baseline
+        matrix = FingerprintMatrix(
+            values=solver_result.estimate,
+            locations_per_link=baseline.locations_per_link,
+            no_decrease_mask=baseline.no_decrease_mask.copy()
+            if baseline.no_decrease_mask is not None
+            else None,
+        )
+        result = UpdateResult(
+            matrix=matrix,
+            reference_indices=self.reference_indices,
+            mic=self.mic,
+            lrr=self.lrr,
+            solver=solver_result,
+        )
+        return UpdateReport(
+            site=request.site,
+            result=result,
+            sweeps=solver_result.iterations,
+            converged=solver_result.converged,
+            solver_backend=self.backend,
+        )
+
+
+class UpdateService:
+    """Fleet-first fingerprint update service over the stacked ALS core."""
+
+    def __init__(self) -> None:
+        self._last_stacked_sweeps = 0
+
+    @property
+    def last_stacked_sweeps(self) -> int:
+        """Lockstep sweeps the most recent :meth:`update_fleet` executed."""
+        return self._last_stacked_sweeps
+
+    def update(self, request: UpdateRequest) -> UpdateReport:
+        """Refresh a single site (a one-request fleet)."""
+        return self.update_fleet([request])[0]
+
+    def update_fleet(self, requests: Sequence[UpdateRequest]) -> List[UpdateReport]:
+        """Refresh every requested site, stacking their sweeps into one solve.
+
+        Returns the per-site reports in request order.  All sites on the
+        (default) batched backend advance in lockstep through
+        :func:`~repro.core.stacked.run_stacked_sweeps`; looped-backend sites
+        are solved with the per-column reference implementation.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        sites = [request.site for request in requests]
+        if len(set(sites)) != len(sites):
+            raise ValueError(f"duplicate site identifiers in fleet request: {sites}")
+
+        prepared = [self._prepare(request) for request in requests]
+        stacked = [site for site in prepared if site.backend == "batched"]
+        self._last_stacked_sweeps = run_stacked_sweeps(
+            [site.state for site in stacked]
+        )
+
+        reports = []
+        for site in prepared:
+            if site.backend == "batched":
+                reports.append(site.report(site.state.finalize()))
+            else:
+                reports.append(site.report(solve_state(site.state)))
+        return reports
+
+    # ------------------------------------------------------------ preparation
+    def _prepare(self, request: UpdateRequest) -> _PreparedSite:
+        """Run Inherent Correlation Acquisition and stage the site's solve.
+
+        This is the per-site half of the pipeline ``IUpdater.update`` used to
+        own: MIC selection + LRR on the baseline, the Constraint-1 prediction
+        ``P = X_R Z``, and the merge of the fresh reference columns into the
+        observation mask.
+        """
+        config = request.config
+        if request.correlation is not None:
+            mic, lrr = request.correlation
+        else:
+            mic = select_reference_locations(
+                request.baseline.values,
+                count=config.reference_count,
+                strategy=config.mic_strategy,
+            )
+            lrr = low_rank_representation(
+                request.baseline.values, mic.mic_matrix, config=config.lrr
+            )
+
+        reference_indices = request.reference_indices
+        if reference_indices is None:
+            reference_indices = tuple(int(i) for i in mic.indices)
+        if request.reference_matrix.shape[1] != len(reference_indices):
+            raise ValueError(
+                "reference_matrix must have one column per reference index"
+            )
+
+        # Constraint 1 prediction P = X_R Z, valid when the reference columns
+        # match the MIC columns the correlation matrix was built from.
+        if len(reference_indices) == lrr.correlation.shape[0]:
+            prediction: Optional[np.ndarray] = lrr.predict(request.reference_matrix)
+        else:
+            prediction = None
+
+        observed = request.no_decrease_matrix.copy()
+        mask = request.no_decrease_mask.copy()
+        if config.include_reference_in_mask:
+            for k, j in enumerate(reference_indices):
+                observed[:, j] = request.reference_matrix[:, k]
+                mask[:, j] = 1.0
+
+        state = SweepState(
+            observed,
+            mask,
+            request.baseline.locations_per_link,
+            prediction=prediction,
+            config=config.resolved_solver(),
+            rng=request.rng,
+        )
+        return _PreparedSite(
+            request=request,
+            mic=mic,
+            lrr=lrr,
+            reference_indices=reference_indices,
+            state=state,
+        )

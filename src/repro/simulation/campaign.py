@@ -95,6 +95,23 @@ class SurveyCampaign:
             rng=self.config.seed,
         )
 
+    def collect_update_inputs(
+        self, elapsed_days: float, reference_indices: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Collect the raw inputs of one update at ``elapsed_days``.
+
+        Returns the no-decrease matrix ``X_B``, its index matrix ``B`` and
+        the fresh reference matrix ``X_R`` — exactly what an
+        :class:`~repro.service.types.UpdateRequest` needs, so the fleet
+        service can gather many sites' measurements without running the
+        per-site pipeline.
+        """
+        observed, mask = self.collector.collect_no_decrease(elapsed_days=elapsed_days)
+        reference = self.collector.collect_reference(
+            reference_indices, elapsed_days=elapsed_days
+        )
+        return observed, mask, reference
+
     def run_update(
         self,
         elapsed_days: float,
@@ -110,9 +127,8 @@ class SurveyCampaign:
         updater = updater or self.make_updater()
         if reference_indices is None:
             reference_indices = updater.reference_indices
-        observed, mask = self.collector.collect_no_decrease(elapsed_days=elapsed_days)
-        reference = self.collector.collect_reference(
-            reference_indices, elapsed_days=elapsed_days
+        observed, mask, reference = self.collect_update_inputs(
+            elapsed_days, reference_indices
         )
         return updater.update(
             no_decrease_matrix=observed,

@@ -17,6 +17,8 @@ __all__ = [
     "safe_solve",
     "batched_safe_solve",
     "masked_gram_stack",
+    "pad_rank_stack",
+    "stacked_rank_solve",
     "column_normalize",
     "soft_threshold",
     "singular_value_threshold",
@@ -110,6 +112,19 @@ def safe_solve(lhs: np.ndarray, rhs: np.ndarray, ridge: float = 1e-10) -> np.nda
         return np.linalg.lstsq(regularised, rhs, rcond=None)[0]
 
 
+def _check_stack(lhs: np.ndarray, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce one ``(batch, r, r)`` / ``(batch, r)`` system stack."""
+    lhs = np.asarray(lhs, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    if lhs.ndim != 3 or lhs.shape[1] != lhs.shape[2]:
+        raise ValueError(f"lhs must be a (batch, r, r) stack, got {lhs.shape}")
+    if rhs.shape != lhs.shape[:2]:
+        raise ValueError(
+            f"rhs shape {rhs.shape} does not match lhs batch {lhs.shape[:2]}"
+        )
+    return lhs, rhs
+
+
 def batched_safe_solve(
     lhs: np.ndarray, rhs: np.ndarray, ridge: float = 1e-10
 ) -> np.ndarray:
@@ -132,14 +147,7 @@ def batched_safe_solve(
     pay for the regularised least-squares retry — mirroring the looped
     reference path exactly.
     """
-    lhs = np.asarray(lhs, dtype=float)
-    rhs = np.asarray(rhs, dtype=float)
-    if lhs.ndim != 3 or lhs.shape[1] != lhs.shape[2]:
-        raise ValueError(f"lhs must be a (batch, r, r) stack, got {lhs.shape}")
-    if rhs.shape != lhs.shape[:2]:
-        raise ValueError(
-            f"rhs shape {rhs.shape} does not match lhs batch {lhs.shape[:2]}"
-        )
+    lhs, rhs = _check_stack(lhs, rhs)
     try:
         return np.linalg.solve(lhs, rhs[..., None])[..., 0]
     except np.linalg.LinAlgError:
@@ -147,6 +155,126 @@ def batched_safe_solve(
         for k in range(lhs.shape[0]):
             solutions[k] = safe_solve(lhs[k], rhs[k], ridge=ridge)
         return solutions
+
+
+def pad_rank_stack(
+    lhs: np.ndarray, rhs: np.ndarray, rank: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Embed a ``(batch, r, r)`` system stack into a larger target ``rank``.
+
+    The real systems occupy the leading ``r x r`` block of each padded slice;
+    the trailing diagonal is filled with ones and the padded right-hand-side
+    entries with zeros, so the padded solutions carry exact zeros in the
+    padding coordinates.  Because the padding rows/columns are zero off the
+    diagonal, LU elimination never pivots them into the real block and, in
+    exact arithmetic, the leading ``r`` solution entries equal the unpadded
+    solutions.  In floating point they can differ by last-ulp rounding noise:
+    BLAS picks different kernels for different matrix sizes, so the padded
+    ``rank x rank`` elimination may sum in a different order than the
+    ``r x r`` one.  :func:`stacked_rank_solve` therefore only pads when asked
+    (``strategy="pad"``) and groups equal ranks by default, which is exact.
+    """
+    lhs, rhs = _check_stack(lhs, rhs)
+    batch, r = lhs.shape[:2]
+    if rank < r:
+        raise ValueError(f"target rank {rank} is smaller than the stack rank {r}")
+    if rank == r:
+        return lhs, rhs
+    padded_lhs = np.zeros((batch, rank, rank), dtype=float)
+    padded_lhs[:, :r, :r] = lhs
+    pad = np.arange(r, rank)
+    padded_lhs[:, pad, pad] = 1.0
+    padded_rhs = np.zeros((batch, rank), dtype=float)
+    padded_rhs[:, :r] = rhs
+    return padded_lhs, padded_rhs
+
+
+def stacked_rank_solve(systems, ridge: float = 1e-10, strategy: str = "group") -> list:
+    """Solve several ``(batch_k, r_k, r_k)`` system stacks together.
+
+    Parameters
+    ----------
+    systems:
+        Sequence of ``(lhs, rhs)`` pairs, each a stack accepted by
+        :func:`batched_safe_solve`.  The stacks may have different batch sizes
+        *and* different ranks ``r_k``.
+    ridge:
+        Regularisation forwarded to the singular-system fallback.
+    strategy:
+        ``"group"`` (default) concatenates stacks of equal rank along the
+        batch axis and issues one batched solve per distinct rank.  Each
+        slice is factorised independently by LAPACK, so every stack's
+        solutions are **bit-identical** to solving it alone — the property
+        the fleet parity guarantee rests on — while a fleet with one shared
+        rank still collapses to a single LAPACK call per sweep.  A singular
+        slice anywhere triggers a per-stack retry, so a clean stack keeps
+        its exact float path even when a co-tenant needs the regularised
+        fallback.
+        ``"pad"`` embeds all stacks into the largest rank with
+        :func:`pad_rank_stack` and issues exactly one call regardless of
+        rank mix, at the cost of last-ulp rounding differences (BLAS kernel
+        selection depends on the matrix size) and of cubically more work on
+        the padded slices.
+
+    Returns the per-stack solutions (``(batch_k, r_k)`` arrays) in input
+    order.  This is how a fleet of heterogeneous sites turns every per-site
+    sweep solve into stacked batched solves instead of a Python loop.
+    """
+    if strategy not in ("group", "pad"):
+        raise ValueError(f"unknown strategy {strategy!r}; expected 'group' or 'pad'")
+    systems = list(systems)
+    if not systems:
+        return []
+    if len(systems) == 1:
+        lhs, rhs = systems[0]
+        return [batched_safe_solve(lhs, rhs, ridge=ridge)]
+    shaped = [_check_stack(lhs, rhs) for lhs, rhs in systems]
+
+    results: list = [None] * len(shaped)
+    if strategy == "pad":
+        rank = max(lhs.shape[1] for lhs, _ in shaped)
+        padded = [pad_rank_stack(lhs, rhs, rank) for lhs, rhs in shaped]
+        stacked_lhs = np.concatenate([lhs for lhs, _ in padded], axis=0)
+        stacked_rhs = np.concatenate([rhs for _, rhs in padded], axis=0)
+        try:
+            solutions = np.linalg.solve(stacked_lhs, stacked_rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            # A singular slice in one stack must not drag the other stacks
+            # through the regularised fallback: retry each stack alone so
+            # only the owner pays for it.
+            return [batched_safe_solve(lhs, rhs, ridge=ridge) for lhs, rhs in shaped]
+        offset = 0
+        for index, (lhs, rhs) in enumerate(shaped):
+            batch, r = rhs.shape
+            results[index] = solutions[offset : offset + batch, :r].copy()
+            offset += batch
+        return results
+
+    by_rank: dict = {}
+    for index, (lhs, rhs) in enumerate(shaped):
+        by_rank.setdefault(lhs.shape[1], []).append(index)
+    for indices in by_rank.values():
+        if len(indices) == 1:
+            index = indices[0]
+            lhs, rhs = shaped[index]
+            results[index] = batched_safe_solve(lhs, rhs, ridge=ridge)
+            continue
+        stacked_lhs = np.concatenate([shaped[i][0] for i in indices], axis=0)
+        stacked_rhs = np.concatenate([shaped[i][1] for i in indices], axis=0)
+        try:
+            solutions = np.linalg.solve(stacked_lhs, stacked_rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            # Keep stacks independent under singularity (see the pad branch):
+            # a clean co-tenant keeps its exact batched-solve float path.
+            for index in indices:
+                results[index] = batched_safe_solve(*shaped[index], ridge=ridge)
+            continue
+        offset = 0
+        for index in indices:
+            batch = shaped[index][1].shape[0]
+            results[index] = solutions[offset : offset + batch].copy()
+            offset += batch
+    return results
 
 
 def masked_gram_stack(factor: np.ndarray, weights: np.ndarray) -> np.ndarray:

@@ -24,6 +24,26 @@ class TestParser:
         assert args.preset == "full"
         assert args.seed == 3
 
+    def test_fleet_command_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.command == "fleet"
+        assert args.environments == ["office", "hall", "library"]
+        assert args.days is None
+        assert args.preset == "quick"
+
+    def test_fleet_command_parses_lists(self):
+        args = build_parser().parse_args(
+            ["fleet", "--environments", "office,library", "--days", "3,45"]
+        )
+        assert args.environments == ["office", "library"]
+        assert args.days == [3.0, 45.0]
+
+    def test_fleet_command_rejects_bad_days(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--days", "-3"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--days", "soon"])
+
 
 class TestRenderResult:
     def test_scalars_rendered(self):
@@ -66,3 +86,40 @@ class TestMain:
         assert "labor_cost_savings" in output
         assert "fig20_labor_cost" in output
         assert "saving_vs_50_samples" in output
+
+    def test_list_includes_fleet_experiment(self, capsys):
+        assert main(["list"]) == 0
+        assert "fleet_refresh" in capsys.readouterr().out
+
+
+class TestFleetCommand:
+    def test_tiny_fleet_refresh(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--environments",
+                    "office,library",
+                    "--days",
+                    "45",
+                    "--link-count",
+                    "3",
+                    "--locations-per-link",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "fleet refresh @ 45 days" in output
+        assert "office" in output and "library" in output
+        assert "mean_error_db" in output
+        assert "stacked_sweeps" in output
+
+    def test_unknown_environment_rejected(self, capsys):
+        assert main(["fleet", "--environments", "warehouse"]) == 2
+        assert "unknown environment" in capsys.readouterr().err
+
+    def test_duplicate_environments_rejected(self, capsys):
+        assert main(["fleet", "--environments", "office,office"]) == 2
+        assert "duplicate environments" in capsys.readouterr().err

@@ -1,0 +1,57 @@
+"""Headless smoke tests for every example script.
+
+Each example is executed as a subprocess (the way a reader would run it)
+with ``REPRO_EXAMPLE_QUICK=1``, which the scripts honour by shrinking their
+deployments and schedules.  The tests assert a clean exit and that the
+script's headline output made it to stdout — so an API change that breaks an
+example fails CI instead of silently rotting the documentation.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Reconstruction error vs fresh survey",
+    "office_long_term_update.py": "3-month maintenance schedule",
+    "multi_environment_study.py": "Fleet aggregate",
+    "labor_cost_planning.py": "traditional full re-survey",
+}
+
+
+def example_scripts() -> list:
+    return sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_has_expectations():
+    """A new example script must be added to the smoke-test expectations."""
+    assert example_scripts() == sorted(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_headlessly(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_QUICK"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO_ROOT),
+    )
+    assert completed.returncode == 0, (
+        f"{script} exited with {completed.returncode}:\n{completed.stderr}"
+    )
+    assert EXPECTED_OUTPUT[script] in completed.stdout
