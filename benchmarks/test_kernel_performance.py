@@ -16,9 +16,12 @@ from repro.core.lrr import low_rank_representation
 from repro.core.mic import select_reference_locations
 from repro.core.rsvd import SOLVER_BACKENDS
 from repro.core.self_augmented import SelfAugmentedConfig, self_augmented_rsvd
+from repro.core.updater import UpdaterConfig
 from repro.localization.omp import OMPLocalizer
 from repro.service.fleet import FleetCampaign, FleetConfig
 from repro.service.service import UpdateService
+from repro.service.shard import ShardConfig
+from repro.service.synthetic import synthesize_fleet
 from repro.simulation.campaign import CampaignConfig
 from repro.simulation.collector import CollectionConfig
 
@@ -203,6 +206,90 @@ def test_fleet_vs_looped_updates(paper_fleet_requests):
     # hovers around 1.0x, so only guard against a pathological slowdown —
     # a tight floor here flakes on loaded runners.
     assert vs_persite > 0.5, f"stacked fleet much slower than per-site batched loop ({vs_persite:.2f}x)"
+
+
+@pytest.fixture(scope="module")
+def shard_fleet_requests():
+    """A 64-site synthetic fleet with three factorisation ranks."""
+    return synthesize_fleet(
+        64,
+        elapsed_days=45.0,
+        seed=11,
+        link_count=(4, 5, 6),
+        locations_per_link=6,
+        collection=CollectionConfig(
+            survey_samples=3, reference_samples=2, online_samples=1
+        ),
+        updater=UpdaterConfig(solver=SelfAugmentedConfig(max_iterations=10)),
+    )
+
+
+def test_shard_scaling(shard_fleet_requests):
+    """Time a 64-site fleet refresh: unsharded vs byte-budget-sharded.
+
+    Sharding must bound the peak per-sweep system-stack bytes (the plan's
+    memory high-water mark) without giving back the stacked-solve speedup
+    over a per-site service loop.  Runs without the ``benchmark`` fixture so
+    the BENCH_ rows are recorded even when pytest-benchmark is unavailable.
+    """
+    service = UpdateService()
+    budget = 64 * 1024  # forces several shards per rank group at this size
+
+    variants = {
+        "unsharded": lambda: service.update_fleet(shard_fleet_requests),
+        "sharded": lambda: service.update_fleet(
+            shard_fleet_requests, shards=ShardConfig(max_stack_bytes=budget)
+        ),
+        "persite": lambda: [service.update(r) for r in shard_fleet_requests],
+    }
+    timings = {}
+    estimates = {}
+    plans = {}
+    for name, run in variants.items():
+        rounds = []
+        # Best-of-3 so one scheduler stall on a loaded CI runner cannot sink
+        # the measured ratio below the assertion threshold.
+        for _ in range(3):
+            start = time.perf_counter()
+            reports = run()
+            rounds.append(time.perf_counter() - start)
+        timings[name] = min(rounds)
+        estimates[name] = [report.estimate for report in reports]
+        plans[name] = service.last_plan
+
+    deviation = max(
+        float(np.max(np.abs(a - b)))
+        for a, b in zip(estimates["unsharded"], estimates["sharded"])
+    )
+    unsharded_peak = plans["unsharded"].peak_stack_bytes
+    sharded_peak = plans["sharded"].peak_stack_bytes
+    vs_persite = timings["persite"] / timings["sharded"]
+    print()
+    print(f"BENCH_shard_scaling_sites: {len(shard_fleet_requests)}")
+    print(f"BENCH_shard_scaling_unsharded_seconds: {timings['unsharded']:.4f}")
+    print(f"BENCH_shard_scaling_sharded_seconds: {timings['sharded']:.4f}")
+    print(f"BENCH_shard_scaling_persite_seconds: {timings['persite']:.4f}")
+    print(f"BENCH_shard_scaling_unsharded_peak_stack_bytes: {unsharded_peak}")
+    print(f"BENCH_shard_scaling_sharded_peak_stack_bytes: {sharded_peak}")
+    print(f"BENCH_shard_scaling_shard_count: {plans['sharded'].shard_count}")
+    print(f"BENCH_shard_scaling_speedup_vs_persite: {vs_persite:.2f}x")
+    print(f"BENCH_shard_scaling_max_deviation_db: {deviation:.3e}")
+
+    # Sharding must not perturb any site's result (rank grouping + per-slice
+    # batched LU), and the byte budget must actually bound the stack.
+    assert deviation == 0.0
+    assert sharded_peak <= budget
+    assert sharded_peak < unsharded_peak
+    assert plans["sharded"].shard_count > plans["unsharded"].shard_count
+    if os.environ.get("REPRO_SKIP_PERF_ASSERT"):
+        pytest.skip("REPRO_SKIP_PERF_ASSERT set; BENCH_ rows recorded above")
+    # The stacked solve's win over a per-site service loop must survive
+    # sharding (loose floors: CI runners are noisy).
+    assert vs_persite > 1.1, f"sharded fleet not faster than per-site loop ({vs_persite:.2f}x)"
+    assert timings["sharded"] < 3.0 * timings["unsharded"], (
+        f"sharding overhead pathological: {timings['sharded']:.3f}s vs "
+        f"{timings['unsharded']:.3f}s unsharded"
+    )
 
 
 def test_kernel_omp_localization(benchmark, office_matrix):

@@ -10,11 +10,13 @@ The package is organised around the paper's pipeline:
   high-level :class:`~repro.core.updater.IUpdater` pipeline.
 * :mod:`repro.service` is the canonical entry point for refreshing
   fingerprint databases: the :class:`~repro.service.service.UpdateService`
-  request/response API runs whole fleets of sites through one stacked
-  batched solve per sweep, and
+  request/response API runs whole fleets of sites through rank-grouped,
+  cache-budgeted shards of stacked batched solves, and
   :class:`~repro.service.fleet.FleetCampaign` drives the paper's three
   environments per survey stamp.  ``IUpdater`` remains as a single-site
   adapter over the service.
+* :mod:`repro.io` serializes fleets to and from disk: the NPZ+JSON wire
+  format behind ``fleet export`` / ``fleet run --in/--out``.
 * :mod:`repro.localization` implements the OMP localizer and the KNN / SVR /
   RASS baselines.
 * :mod:`repro.simulation` drives multi-timestamp survey campaigns and the
@@ -34,18 +36,27 @@ from repro.environments import (
 )
 from repro.fingerprint.matrix import FingerprintMatrix
 from repro.fingerprint.database import FingerprintDatabase
+from repro.io import (
+    load_report,
+    load_requests,
+    save_report,
+    save_requests,
+)
 from repro.localization.omp import OMPLocalizer
 from repro.service import (
     FleetCampaign,
     FleetConfig,
     FleetReport,
+    ShardConfig,
+    ShardPlan,
     UpdateReport,
     UpdateRequest,
     UpdateService,
+    synthesize_fleet,
 )
 from repro.simulation.campaign import SurveyCampaign, CampaignConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "UpdateRequest",
@@ -54,6 +65,13 @@ __all__ = [
     "UpdateService",
     "FleetCampaign",
     "FleetConfig",
+    "ShardConfig",
+    "ShardPlan",
+    "save_requests",
+    "load_requests",
+    "save_report",
+    "load_report",
+    "synthesize_fleet",
     "IUpdater",
     "UpdaterConfig",
     "UpdateResult",

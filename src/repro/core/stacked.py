@@ -14,6 +14,13 @@ site's iterates are bit-identical to what a standalone
 :func:`~repro.core.self_augmented.self_augmented_rsvd` run with the batched
 backend would produce — sites that converge early simply drop out of the
 stack while the rest keep sweeping.
+
+The same independence is what makes the fleet *shardable*: a shard (any
+subset of the states) advanced through :func:`run_stacked_sweeps` — or many
+shards through :func:`run_sharded_sweeps` — produces, per site, exactly the
+floats the full stack would have produced.  :func:`sweep_stack_nbytes`
+estimates the per-sweep system-stack footprint of one state so the scheduler
+(:mod:`repro.service.shard`) can size shards to a byte budget.
 """
 
 from __future__ import annotations
@@ -21,16 +28,22 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.core.self_augmented import SelfAugmentedResult, SweepState
-from repro.utils.linalg import stacked_rank_solve
+from repro.utils.linalg import stacked_rank_solve, system_stack_nbytes
 
-__all__ = ["run_stacked_sweeps", "solve_states"]
+__all__ = [
+    "run_stacked_sweeps",
+    "run_sharded_sweeps",
+    "solve_states",
+    "sweep_stack_nbytes",
+]
 
 
 def run_stacked_sweeps(states: Sequence[SweepState]) -> int:
     """Drive every state to convergence (or its iteration budget) in lockstep.
 
     Returns the number of stacked sweeps executed — the fleet-level iteration
-    count, ``max`` over the per-site sweep counts.
+    count, ``max`` over the per-site sweep counts.  Only the given states are
+    advanced, which is what a shard-sized call relies on.
     """
     active = [state for state in states if state.active]
     sweeps = 0
@@ -48,6 +61,29 @@ def run_stacked_sweeps(states: Sequence[SweepState]) -> int:
             state.finish_sweep()
         active = [state for state in active if state.active]
     return sweeps
+
+
+def run_sharded_sweeps(shards: Sequence[Sequence[SweepState]]) -> List[int]:
+    """Advance each shard of states independently; one lockstep run per shard.
+
+    Each shard only ever touches its own states, so the concatenated system
+    stacks stay bounded by the largest shard rather than the whole fleet,
+    while per-site results remain bit-identical to one unsharded lockstep run
+    (each LU slice is factorised independently either way).  Returns the
+    per-shard sweep counts in shard order.
+    """
+    return [run_stacked_sweeps(states) for states in shards]
+
+
+def sweep_stack_nbytes(state: SweepState) -> int:
+    """Estimated peak system-stack bytes one sweep of ``state`` materialises.
+
+    The R-column update dominates: it stacks ``n`` (one per matrix column)
+    ``(r, r)`` systems plus right-hand sides, dwarfing the ``m``-system L-row
+    stack since ``n = m * locations_per_link``.  The scheduler sums this over
+    a shard's sites and keeps the total under its byte budget.
+    """
+    return system_stack_nbytes(state.n, state.rank)
 
 
 def solve_states(states: Sequence[SweepState]) -> List[SelfAugmentedResult]:

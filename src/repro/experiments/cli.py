@@ -6,11 +6,19 @@ writing any code::
     python -m repro.experiments.cli list
     python -m repro.experiments.cli run labor_cost_savings
     python -m repro.experiments.cli run fig21_localization_cdf --preset full
+    python -m repro.experiments.cli run fig20_labor_cost fig05_low_rank --jobs 2
     python -m repro.experiments.cli fleet --environments office,hall,library
+    python -m repro.experiments.cli fleet export --sites 100 --out requests.npz
+    python -m repro.experiments.cli fleet run --in requests.npz --out report.npz
 
 The ``fleet`` subcommand drives the update service across several
-environments at once (one stacked batched solve per sweep) and reports
-per-site and aggregate refresh quality.
+environments at once (rank-grouped, cache-budgeted shards of stacked
+batched solves) and reports per-site and aggregate refresh quality.  Its
+``export`` sub-subcommand synthesizes a fleet of N sites from the
+environment registry into an NPZ wire payload; ``run`` refreshes such a
+payload from disk — no simulator required on the serving side — and
+optionally writes the full report payload back out.  ``run --jobs N`` fans
+independent experiments out across worker processes.
 
 The output uses the same text formatters as the benchmark harness, so the
 rows can be compared directly against the paper's figures.
@@ -54,6 +62,17 @@ def _parse_days(value: str) -> list:
     return days
 
 
+def _parse_int_list(value: str) -> list:
+    """Comma-separated positive integers (cycled per site by ``fleet export``)."""
+    try:
+        numbers = [int(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of integers")
+    if not numbers or any(n <= 0 for n in numbers):
+        raise argparse.ArgumentTypeError("values must be positive integers")
+    return numbers
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -75,11 +94,88 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=None, help="override the substrate random seed"
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan independent experiments out across N worker processes",
+    )
 
     fleet_parser = subparsers.add_parser(
         "fleet",
         help="refresh a fleet of environments through the batched update service",
     )
+    fleet_sub = fleet_parser.add_subparsers(dest="fleet_command")
+
+    export_parser = fleet_sub.add_parser(
+        "export",
+        help="synthesize a fleet of N sites into an NPZ request payload",
+    )
+    export_parser.add_argument(
+        "--sites", type=int, default=3, help="number of sites to synthesize"
+    )
+    export_parser.add_argument(
+        "--out", required=True, help="destination request payload (.npz)"
+    )
+    # These four flags also exist on the parent `fleet` parser; SUPPRESS
+    # keeps argparse's sub-namespace copy-over from silently clobbering a
+    # value the user passed before the `export` word (the handler resolves
+    # the final defaults).
+    export_parser.add_argument(
+        "--environments",
+        type=_parse_environments,
+        default=argparse.SUPPRESS,
+        help="registered environment names, cycled across the sites "
+        "(default: office,hall,library)",
+    )
+    export_parser.add_argument(
+        "--day",
+        type=float,
+        default=45.0,
+        help="refresh stamp (days) the fresh measurements are collected at",
+    )
+    export_parser.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="base substrate seed (site k adds k*101; default 7)",
+    )
+    export_parser.add_argument(
+        "--link-count",
+        type=_parse_int_list,
+        default=argparse.SUPPRESS,
+        help="per-site link-count override; a comma list is cycled per site",
+    )
+    export_parser.add_argument(
+        "--locations-per-link",
+        type=_parse_int_list,
+        default=argparse.SUPPRESS,
+        help="per-site stripe-width override; a comma list is cycled per site",
+    )
+
+    fleet_run_parser = fleet_sub.add_parser(
+        "run",
+        help="refresh a from-disk request payload through the sharded service",
+    )
+    fleet_run_parser.add_argument(
+        "--in",
+        dest="input",
+        required=True,
+        help="request payload written by 'fleet export' (.npz)",
+    )
+    fleet_run_parser.add_argument(
+        "--out", default=None, help="optional destination report payload (.npz)"
+    )
+    fleet_run_parser.add_argument(
+        "--max-stack-bytes",
+        type=int,
+        default=None,
+        help=(
+            "per-shard system-stack budget in bytes (default: the L3-ish "
+            "32 MiB ShardConfig default; 0 disables sharding)"
+        ),
+    )
+
     fleet_parser.add_argument(
         "--environments",
         type=_parse_environments,
@@ -153,6 +249,91 @@ def render_result(name: str, result: dict) -> str:
     return "\n".join(lines)
 
 
+def run_fleet_export(args) -> int:
+    """Run ``fleet export``: synthesize N sites into a request payload."""
+    from repro.io import save_requests
+    from repro.service.synthetic import synthesize_fleet
+
+    if args.sites <= 0:
+        print(f"--sites must be positive, got {args.sites}", file=sys.stderr)
+        return 2
+    # Flags may come from the export subparser or (when typed before the
+    # `export` word) from the parent `fleet` parser, whose defaults differ.
+    seed = getattr(args, "seed", None)
+    try:
+        requests = synthesize_fleet(
+            args.sites,
+            environments=getattr(args, "environments", None)
+            or ["office", "hall", "library"],
+            elapsed_days=args.day,
+            seed=7 if seed is None else seed,
+            link_count=getattr(args, "link_count", None),
+            locations_per_link=getattr(args, "locations_per_link", None),
+        )
+        save_requests(args.out, requests, elapsed_days=args.day)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    total_locations = sum(r.baseline.location_count for r in requests)
+    print(
+        f"wrote {len(requests)} requests ({total_locations} grid locations total) "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def run_fleet_run(args) -> int:
+    """Run ``fleet run``: refresh a from-disk payload through the sharded service."""
+    from repro.io import load_requests, payload_info, save_report
+    from repro.service.service import UpdateService
+    from repro.service.shard import ShardConfig
+    from repro.service.types import FleetReport
+
+    try:
+        info = payload_info(args.input)
+        requests = load_requests(args.input)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.max_stack_bytes is None:
+        shards = ShardConfig()
+    elif args.max_stack_bytes == 0:
+        shards = None
+    elif args.max_stack_bytes > 0:
+        shards = ShardConfig(max_stack_bytes=args.max_stack_bytes)
+    else:
+        print("--max-stack-bytes must be non-negative", file=sys.stderr)
+        return 2
+
+    service = UpdateService()
+    reports = service.update_fleet(requests, shards=shards)
+    plan = service.last_plan
+    report = FleetReport(
+        elapsed_days=float(info.get("elapsed_days") or 0.0),
+        reports=tuple(reports),
+        stacked_sweeps=service.last_stacked_sweeps,
+        plan=plan,
+    )
+    print(f"loaded {len(requests)} requests from {args.input}")
+    if plan is not None and plan.shard_count:
+        print(
+            f"plan: {plan.shard_count} shards over {plan.site_count} sites "
+            f"in {len(plan.ranks)} rank groups, peak stack "
+            f"{plan.peak_stack_bytes} bytes"
+            + (
+                f" (budget {plan.max_stack_bytes})"
+                if plan.max_stack_bytes is not None
+                else " (unbounded)"
+            )
+        )
+    print()
+    print(format_fleet_report(report))
+    if args.out:
+        save_report(args.out, report)
+        print(f"wrote report to {args.out}")
+    return 0
+
+
 def run_fleet(args) -> int:
     """Run the ``fleet`` subcommand: refresh several sites per survey stamp."""
     from repro.environments import environment_by_name
@@ -208,6 +389,11 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         return 0
 
     if args.command == "fleet":
+        fleet_command = getattr(args, "fleet_command", None)
+        if fleet_command == "export":
+            return run_fleet_export(args)
+        if fleet_command == "run":
+            return run_fleet_run(args)
         return run_fleet(args)
 
     config = ExperimentConfig.full() if args.preset == "full" else ExperimentConfig.quick()
@@ -221,10 +407,13 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print("use 'list' to see the available names", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
 
+    results = runner.run_many(args.names, jobs=args.jobs)
     for name in args.names:
-        result = runner.run(name)
-        print(render_result(name, result))
+        print(render_result(name, results[name]))
         print()
     return 0
 

@@ -3,8 +3,18 @@
 ``ExperimentRunner`` wires the experiment functions of
 :mod:`repro.experiments.figures` to a shared :class:`CampaignCache` so the
 expensive ground-truth surveys are built once and reused by every figure.
-The runner is what the benchmark harness, the examples and EXPERIMENTS.md all
-drive.
+The runner is what the benchmark harness, the examples and
+``docs/EXPERIMENTS.md`` (the registry reference) all drive.
+
+Independent experiments can fan out across processes:
+``run_many(names, jobs=N)`` hands each experiment to a
+``ProcessPoolExecutor`` worker that builds its own :class:`CampaignCache`
+from the same configuration, and merges the results back deterministically
+in input order.  Each worker's experiment therefore runs *as if alone* —
+reproducible and independent of which other experiments ran first.  A
+sequential shared-cache session is subtly different: the simulated
+channel's noise generator is stateful, so an experiment's measurements
+there can depend on how many draws earlier experiments consumed.
 """
 
 from __future__ import annotations
@@ -17,6 +27,11 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import CampaignCache
 
 __all__ = ["ExperimentRunner", "EXPERIMENTS"]
+
+
+def _run_experiment_in_worker(config: ExperimentConfig, name: str) -> dict:
+    """Top-level (picklable) worker: fresh runner + cache per process."""
+    return ExperimentRunner(config).run(name)
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig01_short_term_variation": figures.fig01_short_term_variation,
@@ -66,7 +81,44 @@ class ExperimentRunner:
             )
         return EXPERIMENTS[name](self.config, self.cache, **kwargs)
 
-    def run_many(self, names: Optional[Iterable[str]] = None) -> Dict[str, dict]:
-        """Run several experiments (all registered ones by default)."""
+    def run_many(
+        self, names: Optional[Iterable[str]] = None, jobs: int = 1
+    ) -> Dict[str, dict]:
+        """Run several experiments (all registered ones by default).
+
+        Parameters
+        ----------
+        names:
+            Experiment names; defaults to every registered experiment.
+        jobs:
+            With ``jobs > 1``, independent experiments run in a
+            ``ProcessPoolExecutor``; each worker builds its own
+            :class:`CampaignCache` from this runner's configuration and the
+            merged results are returned in input-name order.  Every
+            experiment then runs as if alone; experiments whose
+            measurements draw from the shared substrate's stateful noise
+            generator can differ from a sequential shared-cache run, where
+            earlier experiments advance that generator (see the module
+            docstring).
+        """
         names = list(names) if names is not None else self.available()
-        return {name: self.run(name) for name in names}
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        unknown = [name for name in names if name not in EXPERIMENTS]
+        if unknown:
+            raise KeyError(
+                f"unknown experiments {unknown}; available: {', '.join(self.available())}"
+            )
+        if jobs == 1 or len(names) <= 1:
+            return {name: self.run(name) for name in names}
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        distinct = list(dict.fromkeys(names))
+        with ProcessPoolExecutor(max_workers=min(jobs, len(distinct))) as pool:
+            futures = {
+                name: pool.submit(_run_experiment_in_worker, self.config, name)
+                for name in distinct
+            }
+            resolved = {name: future.result() for name, future in futures.items()}
+        return {name: resolved[name] for name in names}

@@ -1,0 +1,29 @@
+"""Serialized wire formats for the fleet update service.
+
+``repro.io`` is how update requests and fleet reports leave (and re-enter)
+a process: a versioned NPZ+JSON payload that preserves matrices bit-exactly
+along with masks, dtypes, seeds, pipeline configs and the executed shard
+plan.  See :mod:`repro.io.wire` for the layout and guarantees.
+"""
+
+from repro.io.wire import (
+    REPORT_FORMAT,
+    REQUESTS_FORMAT,
+    WIRE_VERSION,
+    load_report,
+    load_requests,
+    payload_info,
+    save_report,
+    save_requests,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "REQUESTS_FORMAT",
+    "REPORT_FORMAT",
+    "save_requests",
+    "load_requests",
+    "save_report",
+    "load_report",
+    "payload_info",
+]

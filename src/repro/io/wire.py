@@ -1,0 +1,475 @@
+"""NPZ+JSON wire format for fleet requests and reports.
+
+The fleet service's in-memory request/response model
+(:class:`~repro.service.types.UpdateRequest` /
+:class:`~repro.service.types.FleetReport`) becomes portable here: a payload
+is a single compressed NPZ whose ``manifest`` entry holds a versioned JSON
+header (format tag, per-site metadata, configs, seeds, shard plan) and whose
+remaining entries hold the float64 matrices bit-exactly.  ``fleet export``
+writes request payloads, ``fleet run --in/--out`` consumes and produces
+them, and any external producer that emits the same layout can feed the
+service without touching the simulator.
+
+Guarantees:
+
+* **Round-trip exactness** — arrays ride NPZ untouched (dtype, shape,
+  values); scalar floats ride JSON via ``repr`` round-tripping; configs are
+  encoded field by field and rebuilt through their validating constructors.
+* **Validation on load** — the manifest is checked for format tag, version
+  and per-site completeness; matrices re-enter through
+  :mod:`repro.utils.validation` (finite, 2-D, shape-consistent) inside the
+  ``UpdateRequest`` / ``FingerprintMatrix`` constructors, so corrupt or
+  truncated payloads fail with a clear ``ValueError`` instead of exploding
+  mid-solve.
+* **No pickling** — payloads load with ``allow_pickle=False``; everything is
+  plain arrays plus JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lrr import LRRConfig, LRRResult
+from repro.core.mic import MICResult
+from repro.core.self_augmented import SelfAugmentedConfig, SelfAugmentedResult
+from repro.core.updater import UpdaterConfig, UpdateResult
+from repro.fingerprint.matrix import FingerprintMatrix
+from repro.service.shard import ShardPlan
+from repro.service.types import FleetReport, UpdateReport, UpdateRequest
+
+__all__ = [
+    "WIRE_VERSION",
+    "REQUESTS_FORMAT",
+    "REPORT_FORMAT",
+    "save_requests",
+    "load_requests",
+    "save_report",
+    "load_report",
+    "payload_info",
+]
+
+WIRE_VERSION = 1
+"""Version stamped into every payload header; bumped on layout changes."""
+
+REQUESTS_FORMAT = "repro-fleet-requests"
+"""Format tag of a request payload."""
+
+REPORT_FORMAT = "repro-fleet-report"
+"""Format tag of a report payload."""
+
+
+# --------------------------------------------------------------------- common
+def _site_key(index: int) -> str:
+    return f"site{index:04d}"
+
+
+def _dataclass_scalars(obj) -> dict:
+    """Field → value mapping of a flat, JSON-scalar dataclass config."""
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+def _encode_config(config: UpdaterConfig) -> dict:
+    return {
+        "reference_count": config.reference_count,
+        "mic_strategy": config.mic_strategy,
+        "include_reference_in_mask": config.include_reference_in_mask,
+        "solver_backend": config.solver_backend,
+        "lrr": _dataclass_scalars(config.lrr),
+        "solver": _dataclass_scalars(config.solver),
+    }
+
+
+def _decode_config(data: dict) -> UpdaterConfig:
+    try:
+        return UpdaterConfig(
+            reference_count=data["reference_count"],
+            mic_strategy=data["mic_strategy"],
+            include_reference_in_mask=data["include_reference_in_mask"],
+            solver_backend=data["solver_backend"],
+            lrr=LRRConfig(**data["lrr"]),
+            solver=SelfAugmentedConfig(**data["solver"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"corrupt updater config in payload: {exc}") from exc
+
+
+def _encode_seed(rng, site: str):
+    """Only reproducible seeds may travel: ``None`` or integers."""
+    if rng is None:
+        return None
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    raise ValueError(
+        f"site {site!r} carries a live random generator; wire payloads need a "
+        "reproducible integer seed (or None)"
+    )
+
+
+def _write_payload(path, manifest: dict, arrays: Dict[str, np.ndarray]) -> None:
+    np.savez_compressed(
+        path, manifest=np.asarray(json.dumps(manifest)), **arrays
+    )
+
+
+def _read_manifest(path) -> Tuple[dict, "np.lib.npyio.NpzFile"]:
+    """Open any wire payload and decode its manifest (no format check)."""
+    try:
+        payload = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ValueError(f"cannot read wire payload {path!r}: {exc}") from exc
+    if "manifest" not in payload:
+        raise ValueError(f"{path!r} is not a fleet wire payload (no manifest entry)")
+    try:
+        manifest = json.loads(str(payload["manifest"][()]))
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise ValueError(f"corrupt manifest in {path!r}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ValueError(f"corrupt manifest in {path!r}: expected a JSON object")
+    return manifest, payload
+
+
+def _read_payload(path, expected_format: str) -> Tuple[dict, "np.lib.npyio.NpzFile"]:
+    manifest, payload = _read_manifest(path)
+    got_format = manifest.get("format")
+    if got_format != expected_format:
+        raise ValueError(
+            f"{path!r} holds format {got_format!r}, expected {expected_format!r}"
+        )
+    version = manifest.get("version")
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"{path!r} is wire version {version!r}; this build reads version "
+            f"{WIRE_VERSION}"
+        )
+    return manifest, payload
+
+
+def _get_array(payload, key: str, path) -> np.ndarray:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ValueError(f"payload {path!r} is missing array {key!r}") from None
+
+
+def payload_info(path) -> dict:
+    """Header metadata of any wire payload: format, version, count, stamp."""
+    manifest, _ = _read_manifest(path)
+    return {
+        "format": manifest.get("format"),
+        "version": manifest.get("version"),
+        "count": manifest.get("count"),
+        "elapsed_days": manifest.get("elapsed_days"),
+    }
+
+
+# ------------------------------------------------------------------- requests
+def save_requests(
+    path,
+    requests: Sequence[UpdateRequest],
+    elapsed_days: Optional[float] = None,
+) -> None:
+    """Serialize a fleet of update requests to one NPZ payload.
+
+    Parameters
+    ----------
+    path:
+        Destination file (conventionally ``*.npz``).
+    requests:
+        The fleet, one request per site.  Requests must carry reproducible
+        integer seeds (or ``None``); live generators are rejected.
+    elapsed_days:
+        Optional refresh stamp recorded in the header, so ``fleet run`` can
+        label the resulting report.
+    """
+    requests = list(requests)
+    if not requests:
+        raise ValueError("cannot serialize an empty fleet")
+    arrays: Dict[str, np.ndarray] = {}
+    site_entries: List[dict] = []
+    for index, request in enumerate(requests):
+        key = _site_key(index)
+        arrays[f"{key}__baseline_values"] = request.baseline.values
+        arrays[f"{key}__baseline_mask"] = request.baseline.index_matrix()
+        arrays[f"{key}__no_decrease_matrix"] = request.no_decrease_matrix
+        arrays[f"{key}__no_decrease_mask"] = request.no_decrease_mask
+        arrays[f"{key}__reference_matrix"] = request.reference_matrix
+        entry = {
+            "site": request.site,
+            "locations_per_link": int(request.baseline.locations_per_link),
+            "rng": _encode_seed(request.rng, request.site),
+            "config": _encode_config(request.config),
+            "reference_indices": None
+            if request.reference_indices is None
+            else [int(i) for i in request.reference_indices],
+            "dtypes": {
+                "baseline_values": str(request.baseline.values.dtype),
+                "no_decrease_matrix": str(request.no_decrease_matrix.dtype),
+                "reference_matrix": str(request.reference_matrix.dtype),
+            },
+        }
+        if request.correlation is not None:
+            mic, lrr = request.correlation
+            arrays[f"{key}__mic_matrix"] = mic.mic_matrix
+            arrays[f"{key}__lrr_correlation"] = lrr.correlation
+            arrays[f"{key}__lrr_error"] = lrr.error
+            entry["correlation"] = {
+                "mic": {
+                    "indices": [int(i) for i in mic.indices],
+                    "rank": int(mic.rank),
+                    "strategy": mic.strategy,
+                },
+                "lrr": {
+                    "iterations": int(lrr.iterations),
+                    "converged": bool(lrr.converged),
+                    "residual": float(lrr.residual),
+                },
+            }
+        else:
+            entry["correlation"] = None
+        site_entries.append(entry)
+
+    manifest = {
+        "format": REQUESTS_FORMAT,
+        "version": WIRE_VERSION,
+        "count": len(requests),
+        "elapsed_days": None if elapsed_days is None else float(elapsed_days),
+        "sites": site_entries,
+    }
+    _write_payload(path, manifest, arrays)
+
+
+def load_requests(path) -> List[UpdateRequest]:
+    """Load a request payload back into validated :class:`UpdateRequest` objects.
+
+    Raises ``ValueError`` with a clear message when the payload is not a
+    request payload, has a different wire version, or is corrupt (missing
+    arrays, inconsistent shapes, non-finite values, broken configs).
+    """
+    manifest, payload = _read_payload(path, REQUESTS_FORMAT)
+    sites = manifest.get("sites")
+    if not isinstance(sites, list) or manifest.get("count") != len(sites):
+        raise ValueError(f"corrupt manifest in {path!r}: site list/count mismatch")
+
+    requests: List[UpdateRequest] = []
+    for index, entry in enumerate(sites):
+        key = _site_key(index)
+        try:
+            site = str(entry["site"])
+            locations_per_link = int(entry["locations_per_link"])
+            rng = entry["rng"]
+            config_data = entry["config"]
+            reference_indices = entry["reference_indices"]
+            correlation_meta = entry.get("correlation")
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"corrupt site entry {index} in {path!r}: {exc}"
+            ) from exc
+        try:
+            # Cross-check the dtypes the writer recorded against what the
+            # arrays actually carry — a mismatch means the payload was
+            # rewritten or truncated after export.
+            for field_name, recorded in (entry.get("dtypes") or {}).items():
+                array = _get_array(payload, f"{key}__{field_name}", path)
+                if str(array.dtype) != recorded:
+                    raise ValueError(
+                        f"array {field_name!r} of site {index} has dtype "
+                        f"{array.dtype}, manifest records {recorded!r}"
+                    )
+            baseline = FingerprintMatrix(
+                values=_get_array(payload, f"{key}__baseline_values", path),
+                locations_per_link=locations_per_link,
+                no_decrease_mask=_get_array(payload, f"{key}__baseline_mask", path),
+            )
+            correlation = None
+            if correlation_meta is not None:
+                mic_meta = correlation_meta["mic"]
+                lrr_meta = correlation_meta["lrr"]
+                correlation = (
+                    MICResult(
+                        indices=tuple(int(i) for i in mic_meta["indices"]),
+                        rank=int(mic_meta["rank"]),
+                        mic_matrix=_get_array(payload, f"{key}__mic_matrix", path),
+                        strategy=str(mic_meta["strategy"]),
+                    ),
+                    LRRResult(
+                        correlation=_get_array(
+                            payload, f"{key}__lrr_correlation", path
+                        ),
+                        error=_get_array(payload, f"{key}__lrr_error", path),
+                        iterations=int(lrr_meta["iterations"]),
+                        converged=bool(lrr_meta["converged"]),
+                        residual=float(lrr_meta["residual"]),
+                    ),
+                )
+            request = UpdateRequest(
+                site=site,
+                baseline=baseline,
+                no_decrease_matrix=_get_array(
+                    payload, f"{key}__no_decrease_matrix", path
+                ),
+                no_decrease_mask=_get_array(payload, f"{key}__no_decrease_mask", path),
+                reference_matrix=_get_array(
+                    payload, f"{key}__reference_matrix", path
+                ),
+                reference_indices=None
+                if reference_indices is None
+                else tuple(int(i) for i in reference_indices),
+                config=_decode_config(config_data),
+                rng=None if rng is None else int(rng),
+                correlation=correlation,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"corrupt site {index} ({entry.get('site')!r}) in {path!r}: {exc}"
+            ) from exc
+        requests.append(request)
+    return requests
+
+
+# -------------------------------------------------------------------- reports
+def save_report(path, report: FleetReport) -> None:
+    """Serialize one fleet refresh (per-site results + plan) to an NPZ payload."""
+    arrays: Dict[str, np.ndarray] = {}
+    site_entries: List[dict] = []
+    for index, site_report in enumerate(report.reports):
+        key = _site_key(index)
+        result = site_report.result
+        solver = result.solver
+        matrix = result.matrix
+        arrays[f"{key}__estimate"] = matrix.values
+        arrays[f"{key}__matrix_mask"] = matrix.index_matrix()
+        arrays[f"{key}__left"] = solver.left
+        arrays[f"{key}__right"] = solver.right
+        arrays[f"{key}__mic_matrix"] = result.mic.mic_matrix
+        entry = {
+            "site": site_report.site,
+            "sweeps": int(site_report.sweeps),
+            "converged": bool(site_report.converged),
+            "solver_backend": site_report.solver_backend,
+            "locations_per_link": int(matrix.locations_per_link),
+            "reference_indices": [int(i) for i in result.reference_indices],
+            "mic": {
+                "indices": [int(i) for i in result.mic.indices],
+                "rank": int(result.mic.rank),
+                "strategy": result.mic.strategy,
+            },
+            "solver": {
+                "objective": float(solver.objective),
+                "iterations": int(solver.iterations),
+                "converged": bool(solver.converged),
+                "reference_weight": float(solver.reference_weight),
+                "structure_weight": float(solver.structure_weight),
+            },
+        }
+        if result.lrr is not None:
+            arrays[f"{key}__lrr_correlation"] = result.lrr.correlation
+            arrays[f"{key}__lrr_error"] = result.lrr.error
+            entry["lrr"] = {
+                "iterations": int(result.lrr.iterations),
+                "converged": bool(result.lrr.converged),
+                "residual": float(result.lrr.residual),
+            }
+        else:
+            entry["lrr"] = None
+        site_entries.append(entry)
+
+    manifest = {
+        "format": REPORT_FORMAT,
+        "version": WIRE_VERSION,
+        "count": len(site_entries),
+        "elapsed_days": float(report.elapsed_days),
+        "stacked_sweeps": int(report.stacked_sweeps),
+        "errors_db": {k: float(v) for k, v in report.errors_db.items()},
+        "stale_errors_db": {k: float(v) for k, v in report.stale_errors_db.items()},
+        "plan": None if report.plan is None else report.plan.to_json(),
+        "sites": site_entries,
+    }
+    _write_payload(path, manifest, arrays)
+
+
+def load_report(path) -> FleetReport:
+    """Load a report payload back into a full :class:`FleetReport`.
+
+    Per-site estimates, factors, MIC/LRR artefacts and the executed shard
+    plan are all reconstructed, so a loaded report compares bit-for-bit
+    against the in-process one it was saved from.
+    """
+    manifest, payload = _read_payload(path, REPORT_FORMAT)
+    sites = manifest.get("sites")
+    if not isinstance(sites, list) or manifest.get("count") != len(sites):
+        raise ValueError(f"corrupt manifest in {path!r}: site list/count mismatch")
+
+    reports: List[UpdateReport] = []
+    for index, entry in enumerate(sites):
+        key = _site_key(index)
+        try:
+            matrix = FingerprintMatrix(
+                values=_get_array(payload, f"{key}__estimate", path),
+                locations_per_link=int(entry["locations_per_link"]),
+                no_decrease_mask=_get_array(payload, f"{key}__matrix_mask", path),
+            )
+            solver_meta = entry["solver"]
+            solver = SelfAugmentedResult(
+                estimate=matrix.values,
+                left=_get_array(payload, f"{key}__left", path),
+                right=_get_array(payload, f"{key}__right", path),
+                objective=float(solver_meta["objective"]),
+                iterations=int(solver_meta["iterations"]),
+                converged=bool(solver_meta["converged"]),
+                reference_weight=float(solver_meta["reference_weight"]),
+                structure_weight=float(solver_meta["structure_weight"]),
+            )
+            mic_meta = entry["mic"]
+            mic = MICResult(
+                indices=tuple(int(i) for i in mic_meta["indices"]),
+                rank=int(mic_meta["rank"]),
+                mic_matrix=_get_array(payload, f"{key}__mic_matrix", path),
+                strategy=str(mic_meta["strategy"]),
+            )
+            lrr = None
+            if entry["lrr"] is not None:
+                lrr_meta = entry["lrr"]
+                lrr = LRRResult(
+                    correlation=_get_array(payload, f"{key}__lrr_correlation", path),
+                    error=_get_array(payload, f"{key}__lrr_error", path),
+                    iterations=int(lrr_meta["iterations"]),
+                    converged=bool(lrr_meta["converged"]),
+                    residual=float(lrr_meta["residual"]),
+                )
+            result = UpdateResult(
+                matrix=matrix,
+                reference_indices=tuple(int(i) for i in entry["reference_indices"]),
+                mic=mic,
+                lrr=lrr,
+                solver=solver,
+            )
+            reports.append(
+                UpdateReport(
+                    site=str(entry["site"]),
+                    result=result,
+                    sweeps=int(entry["sweeps"]),
+                    converged=bool(entry["converged"]),
+                    solver_backend=str(entry["solver_backend"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"corrupt report site {index} in {path!r}: {exc}"
+            ) from exc
+
+    plan_data = manifest.get("plan")
+    return FleetReport(
+        elapsed_days=float(manifest["elapsed_days"]),
+        reports=tuple(reports),
+        errors_db={str(k): float(v) for k, v in manifest["errors_db"].items()},
+        stale_errors_db={
+            str(k): float(v) for k, v in manifest["stale_errors_db"].items()
+        },
+        stacked_sweeps=int(manifest["stacked_sweeps"]),
+        plan=None if plan_data is None else ShardPlan.from_json(plan_data),
+    )

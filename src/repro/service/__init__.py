@@ -6,14 +6,19 @@ database at a time, this package makes the multi-site workload primary:
 * :class:`~repro.service.types.UpdateRequest` /
   :class:`~repro.service.types.UpdateReport` — the request/response model of
   one site's refresh.
-* :class:`~repro.service.service.UpdateService` — accepts many sites'
-  matrices (heterogeneous shapes and ranks welcome) and runs every
-  alternating-least-squares sweep of the whole fleet as a single stacked
-  batched solve.
+* :class:`~repro.service.service.UpdateService` — an ingest → plan → execute
+  pipeline: accepts many sites' matrices (heterogeneous shapes and ranks
+  welcome, in memory or loaded from a :mod:`repro.io` wire payload), plans
+  rank-grouped shards sized to a byte budget
+  (:class:`~repro.service.shard.ShardConfig` /
+  :class:`~repro.service.shard.ShardPlan`), and executes every shard as
+  stacked batched solves — bit-identical per site for any shard split.
 * :class:`~repro.service.fleet.FleetCampaign` — builds the paper's
   office / hall / library deployments and refreshes all of them per survey
   stamp, returning per-site and aggregate
-  :class:`~repro.service.types.FleetReport` summaries.
+  :class:`~repro.service.types.FleetReport` summaries (plan included).
+* :func:`~repro.service.synthetic.synthesize_fleet` — manufactures fleets of
+  simulated sites at scale for payload export, benchmarks and tests.
 
 ``IUpdater.update()`` is now a thin single-site adapter over this service
 path; see ``docs/API.md`` for the public surface.
@@ -21,6 +26,14 @@ path; see ``docs/API.md`` for the public surface.
 
 from repro.service.fleet import PAPER_FLEET, FleetCampaign, FleetConfig
 from repro.service.service import UpdateService
+from repro.service.shard import (
+    DEFAULT_MAX_STACK_BYTES,
+    Shard,
+    ShardConfig,
+    ShardPlan,
+    plan_shards,
+)
+from repro.service.synthetic import synthesize_fleet
 from repro.service.types import FleetReport, UpdateReport, UpdateRequest
 
 __all__ = [
@@ -31,4 +44,10 @@ __all__ = [
     "FleetCampaign",
     "FleetConfig",
     "PAPER_FLEET",
+    "DEFAULT_MAX_STACK_BYTES",
+    "Shard",
+    "ShardConfig",
+    "ShardPlan",
+    "plan_shards",
+    "synthesize_fleet",
 ]

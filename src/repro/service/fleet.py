@@ -12,12 +12,13 @@ of every site land in a single stacked batched solve.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.updater import IUpdater
 from repro.environments import environment_by_name
 from repro.environments.base import EnvironmentSpec
 from repro.service.service import UpdateService
+from repro.service.shard import ShardConfig
 from repro.service.types import FleetReport, UpdateRequest
 from repro.simulation.campaign import CampaignConfig, SurveyCampaign
 
@@ -122,9 +123,9 @@ class FleetCampaign:
         return self._updaters[site]
 
     # -------------------------------------------------------------- refreshes
-    def build_requests(self, elapsed_days: float) -> list:
+    def build_requests(self, elapsed_days: float) -> List[UpdateRequest]:
         """Collect every site's fresh measurements into update requests."""
-        requests = []
+        requests: List[UpdateRequest] = []
         for site in self.sites:
             campaign = self.campaigns[site]
             updater = self.updater(site)
@@ -148,10 +149,18 @@ class FleetCampaign:
             )
         return requests
 
-    def refresh(self, elapsed_days: float) -> FleetReport:
-        """Refresh every site's database at ``elapsed_days`` in one stacked solve."""
+    def refresh(
+        self,
+        elapsed_days: float,
+        shards: Union[ShardConfig, int, None] = None,
+    ) -> FleetReport:
+        """Refresh every site's database at ``elapsed_days`` in one stacked solve.
+
+        ``shards`` is forwarded to :meth:`UpdateService.update_fleet`; the
+        executed plan is recorded on the returned :class:`FleetReport`.
+        """
         requests = self.build_requests(elapsed_days)
-        reports = self.service.update_fleet(requests)
+        reports = self.service.update_fleet(requests, shards=shards)
         errors: Dict[str, float] = {}
         stale: Dict[str, float] = {}
         for report in reports:
@@ -171,6 +180,7 @@ class FleetCampaign:
             errors_db=errors,
             stale_errors_db=stale,
             stacked_sweeps=self.service.last_stacked_sweeps,
+            plan=self.service.last_plan,
         )
 
     def refresh_all(self) -> Dict[float, FleetReport]:

@@ -1,23 +1,39 @@
-"""The batched multi-site update service.
+"""The batched multi-site update service: an ingest → plan → execute pipeline.
 
 ``UpdateService`` is the canonical way to refresh fingerprint databases.  It
 accepts any number of :class:`~repro.service.types.UpdateRequest` objects —
 sites with heterogeneous matrix shapes and factorisation ranks are fine —
-and runs the whole fleet's MIC selection, LRR solve and self-augmented RSVD
-through the batched linear-algebra primitives:
+and runs the whole fleet through a three-stage pipeline:
 
-* MIC + LRR are per-site by nature (each site has its own baseline) and are
-  skipped entirely when the request carries a precomputed ``correlation``;
-* every alternating-least-squares sweep concatenates all sites' per-column /
-  per-row normal-equation stacks into **one** batched LAPACK solve via
-  :func:`~repro.core.stacked.run_stacked_sweeps`, rather than looping a
-  Python-level solver over the sites.
+1. **Ingest / prepare** — per-site Inherent Correlation Acquisition (MIC +
+   LRR, skipped when the request carries a precomputed ``correlation``), the
+   Constraint-1 prediction and the staged
+   :class:`~repro.core.self_augmented.SweepState`.  Requests can come from
+   anywhere: built in memory by :class:`~repro.service.fleet.FleetCampaign`,
+   or loaded from a serialized payload via :func:`repro.io.load_requests`.
+2. **Plan** — :func:`~repro.service.shard.plan_shards` groups the batched
+   sites by factorisation rank (equal-rank stacks concatenate without
+   padding, preserving the bitwise-parity guarantee; identity-padding is NOT
+   bit-exact) and splits each rank group into shards sized by the
+   :class:`~repro.service.shard.ShardConfig` byte budget, so one process can
+   refresh hundreds of sites without the per-sweep system stack outgrowing
+   cache.
+3. **Execute** — every shard advances only its own states through
+   :func:`~repro.core.stacked.run_stacked_sweeps`; a shard whose stacked run
+   dies on a numerical error falls back to re-preparing and solving its
+   member sites individually, so co-tenants are never left with the
+   abandoned run's partially-advanced sweeps (per-shard singularity
+   isolation; a site that fails even in isolation raises a ``RuntimeError``
+   naming it, so the caller can exclude it and resubmit).  Reports are
+   reassembled in request order, and the executed plan is available as
+   :attr:`UpdateService.last_plan` and travels on
+   :class:`~repro.service.types.FleetReport`.
 
 Per-site results are bit-identical to independent
-:meth:`~repro.core.updater.IUpdater.update` runs (pinned by
-``tests/service/test_fleet_parity.py``): batched LU factorises each slice
-independently, and heterogeneous ranks are solved per rank group rather than
-padded, so no site's floating-point result is perturbed.
+:meth:`~repro.core.updater.IUpdater.update` runs for every shard split —
+pinned by ``tests/service/test_fleet_parity.py``: batched LU factorises each
+slice independently, and heterogeneous ranks are solved per rank group
+rather than padded, so no site's floating-point result is perturbed.
 
 Sites configured with the ``"looped"`` reference backend cannot ride the
 stacked solve; the service runs them through the same reference path
@@ -27,16 +43,24 @@ stacked solve; the service runs them through the same reference path
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.lrr import LRRResult, low_rank_representation
 from repro.core.mic import MICResult, select_reference_locations
 from repro.core.self_augmented import SelfAugmentedResult, SweepState, solve_state
-from repro.core.stacked import run_stacked_sweeps
+from repro.core.stacked import run_stacked_sweeps, sweep_stack_nbytes
 from repro.core.updater import UpdateResult
 from repro.fingerprint.matrix import FingerprintMatrix
+from repro.service.shard import (
+    Shard,
+    ShardConfig,
+    ShardPlan,
+    mark_executed,
+    plan_shards,
+    resolve_shard_config,
+)
 from repro.service.types import UpdateReport, UpdateRequest
 
 __all__ = ["UpdateService"]
@@ -87,35 +111,67 @@ class UpdateService:
 
     def __init__(self) -> None:
         self._last_stacked_sweeps = 0
+        self._last_plan: Optional[ShardPlan] = None
 
     @property
     def last_stacked_sweeps(self) -> int:
-        """Lockstep sweeps the most recent :meth:`update_fleet` executed."""
+        """Lockstep sweeps the most recent :meth:`update_fleet` executed.
+
+        With a sharded plan this is the maximum over the per-shard sweep
+        counts, which equals the maximum over the per-site sweep counts —
+        the same fleet-level iteration number the unsharded lockstep
+        reported.
+        """
         return self._last_stacked_sweeps
+
+    @property
+    def last_plan(self) -> Optional[ShardPlan]:
+        """The executed shard plan of the most recent :meth:`update_fleet`."""
+        return self._last_plan
 
     def update(self, request: UpdateRequest) -> UpdateReport:
         """Refresh a single site (a one-request fleet)."""
         return self.update_fleet([request])[0]
 
-    def update_fleet(self, requests: Sequence[UpdateRequest]) -> List[UpdateReport]:
-        """Refresh every requested site, stacking their sweeps into one solve.
+    def update_fleet(
+        self,
+        requests: Sequence[UpdateRequest],
+        shards: Union[ShardConfig, int, None] = None,
+    ) -> List[UpdateReport]:
+        """Refresh every requested site through the prepare/plan/execute pipeline.
 
-        Returns the per-site reports in request order.  All sites on the
-        (default) batched backend advance in lockstep through
-        :func:`~repro.core.stacked.run_stacked_sweeps`; looped-backend sites
-        are solved with the per-column reference implementation.
+        Parameters
+        ----------
+        requests:
+            The fleet, one request per site; heterogeneous shapes and ranks
+            are fine.
+        shards:
+            Shard scheduling: ``None`` (default) plans one unbounded shard
+            per rank group — the historical all-in-lockstep behaviour; a
+            :class:`~repro.service.shard.ShardConfig` (or a plain byte
+            budget) additionally splits each rank group so every shard's
+            per-sweep system stack fits the budget.
+
+        Returns the per-site reports in request order; any shard split
+        yields bit-identical per-site results.  Looped-backend sites are
+        solved with the per-column reference implementation as before.
         """
         requests = list(requests)
         if not requests:
+            self._last_stacked_sweeps = 0
+            self._last_plan = None
             return []
         sites = [request.site for request in requests]
         if len(set(sites)) != len(sites):
             raise ValueError(f"duplicate site identifiers in fleet request: {sites}")
 
         prepared = [self._prepare(request) for request in requests]
-        stacked = [site for site in prepared if site.backend == "batched"]
-        self._last_stacked_sweeps = run_stacked_sweeps(
-            [site.state for site in stacked]
+        plan = self._plan(prepared, resolve_shard_config(shards))
+        plan = self._execute(prepared, plan)
+
+        self._last_plan = plan
+        self._last_stacked_sweeps = max(
+            (shard.sweeps for shard in plan.shards), default=0
         )
 
         reports = []
@@ -185,3 +241,78 @@ class UpdateService:
             reference_indices=reference_indices,
             state=state,
         )
+
+    # --------------------------------------------------------------- planning
+    def _plan(
+        self, prepared: Sequence[_PreparedSite], config: ShardConfig
+    ) -> ShardPlan:
+        """Build the rank-grouped, byte-budgeted schedule of the batched sites.
+
+        Looped-backend sites never ride the stacked solve, so they stay out
+        of the plan and run on the per-column reference path at report time.
+        """
+        stacked = [
+            (index, site)
+            for index, site in enumerate(prepared)
+            if site.backend == "batched"
+        ]
+        return plan_shards(
+            sites=[site.request.site for _, site in stacked],
+            ranks=[site.state.rank for _, site in stacked],
+            stack_bytes=[sweep_stack_nbytes(site.state) for _, site in stacked],
+            config=config,
+            indices=[index for index, _ in stacked],
+        )
+
+    # -------------------------------------------------------------- execution
+    def _execute(
+        self, prepared: List[_PreparedSite], plan: ShardPlan
+    ) -> ShardPlan:
+        """Advance every shard's states; isolate numerical failures per shard.
+
+        A shard whose stacked run raises a numerical error is re-solved site
+        by site from freshly prepared states, so a pathological site cannot
+        corrupt its co-tenants' partially-advanced sweeps.  (In practice the
+        stacked primitives already absorb singular slices per slice, so this
+        path only fires on hard failures such as an LAPACK non-convergence.)
+        Returns the plan with per-shard sweep counts (and any fallbacks)
+        recorded.
+        """
+        for shard in plan.shards:
+            states = [prepared[index].state for index in shard.members]
+            try:
+                sweeps = run_stacked_sweeps(states)
+            except (np.linalg.LinAlgError, FloatingPointError):
+                sweeps = self._execute_fallback(prepared, shard)
+                plan = mark_executed(plan, shard.index, sweeps, fallback=True)
+            else:
+                plan = mark_executed(plan, shard.index, sweeps)
+        return plan
+
+    def _execute_fallback(
+        self, prepared: List[_PreparedSite], shard: Shard
+    ) -> int:
+        """Solve a failed shard's sites one by one from clean states.
+
+        Every member is re-prepared and retried solo so healthy co-tenants
+        recover from the abandoned stacked run; only after all retries does
+        a site that cannot be solved even in isolation raise, naming every
+        offender so the caller can exclude them and resubmit.
+        """
+        sweeps = 0
+        failed = []
+        for index in shard.members:
+            fresh = self._prepare(prepared[index].request)
+            try:
+                sweeps = max(sweeps, run_stacked_sweeps([fresh.state]))
+            except (np.linalg.LinAlgError, FloatingPointError) as exc:
+                failed.append((fresh.request.site, exc))
+            else:
+                prepared[index] = fresh
+        if failed:
+            sites = ", ".join(repr(site) for site, _ in failed)
+            raise RuntimeError(
+                f"sites {sites} failed to solve even in isolation "
+                f"(shard {shard.index})"
+            ) from failed[0][1]
+        return sweeps

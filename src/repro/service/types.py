@@ -25,6 +25,7 @@ from repro.core.lrr import LRRResult
 from repro.core.mic import MICResult
 from repro.core.updater import UpdaterConfig, UpdateResult
 from repro.fingerprint.matrix import FingerprintMatrix
+from repro.service.shard import ShardPlan
 from repro.utils.random import RngLike
 from repro.utils.validation import check_2d, check_matching_shapes
 
@@ -166,6 +167,11 @@ class FleetReport:
     stacked_sweeps:
         Number of lockstep sweeps the stacked solve executed (the maximum
         over the per-site sweep counts).
+    plan:
+        The executed :class:`~repro.service.shard.ShardPlan` — which sites
+        rode which rank-grouped, byte-budgeted shard, per-shard sweep counts
+        and any singularity fallbacks.  ``None`` when the producer did not
+        record one.
     """
 
     elapsed_days: float
@@ -173,6 +179,7 @@ class FleetReport:
     errors_db: Dict[str, float] = field(default_factory=dict)
     stale_errors_db: Dict[str, float] = field(default_factory=dict)
     stacked_sweeps: int = 0
+    plan: Optional[ShardPlan] = None
 
     @property
     def sites(self) -> Tuple[str, ...]:
@@ -207,6 +214,9 @@ class FleetReport:
             "stacked_sweeps": float(self.stacked_sweeps),
             "converged_sites": float(sum(r.converged for r in self.reports)),
         }
+        if self.plan is not None:
+            summary["shards"] = float(self.plan.shard_count)
+            summary["peak_stack_bytes"] = float(self.plan.peak_stack_bytes)
         if self.errors_db:
             errors = np.asarray(list(self.errors_db.values()), dtype=float)
             summary["mean_error_db"] = float(errors.mean())

@@ -19,6 +19,7 @@ __all__ = [
     "masked_gram_stack",
     "pad_rank_stack",
     "stacked_rank_solve",
+    "system_stack_nbytes",
     "column_normalize",
     "soft_threshold",
     "singular_value_threshold",
@@ -155,6 +156,19 @@ def batched_safe_solve(
         for k in range(lhs.shape[0]):
             solutions[k] = safe_solve(lhs[k], rhs[k], ridge=ridge)
         return solutions
+
+
+def system_stack_nbytes(batch: int, rank: int, itemsize: int = 8) -> int:
+    """Bytes one ``(batch, rank, rank)`` + ``(batch, rank)`` system stack holds.
+
+    This is the unit the fleet scheduler budgets against: every
+    alternating-least-squares sweep materialises one such stack per solve
+    direction, so keeping the concatenated stack of a shard under the L3-ish
+    cache budget keeps the batched LAPACK calls resident.
+    """
+    if batch < 0 or rank < 0:
+        raise ValueError(f"batch and rank must be non-negative, got {batch}, {rank}")
+    return int(itemsize) * int(batch) * int(rank) * (int(rank) + 1)
 
 
 def pad_rank_stack(

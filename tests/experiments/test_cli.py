@@ -92,6 +92,131 @@ class TestMain:
         assert "fleet_refresh" in capsys.readouterr().out
 
 
+class TestFleetWireCommands:
+    def test_export_run_round_trip_matches_in_process(self, tmp_path, capsys):
+        """CLI export → run must reproduce the in-process refresh bit-for-bit."""
+        from repro.io import load_report, load_requests
+        from repro.service.service import UpdateService
+
+        requests_path = str(tmp_path / "requests.npz")
+        report_path = str(tmp_path / "report.npz")
+        assert (
+            main(
+                [
+                    "fleet",
+                    "export",
+                    "--sites",
+                    "6",
+                    "--link-count",
+                    "3,4",
+                    "--locations-per-link",
+                    "4",
+                    "--out",
+                    requests_path,
+                ]
+            )
+            == 0
+        )
+        assert "wrote 6 requests" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "fleet",
+                    "run",
+                    "--in",
+                    requests_path,
+                    "--out",
+                    report_path,
+                    "--max-stack-bytes",
+                    "4096",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "loaded 6 requests" in output
+        assert "plan:" in output and "rank groups" in output
+        assert "fleet refresh @ 45 days" in output
+
+        in_process = UpdateService().update_fleet(load_requests(requests_path))
+        saved = load_report(report_path)
+        assert saved.sites == tuple(r.site for r in in_process)
+        for local, wire in zip(in_process, saved.reports):
+            np.testing.assert_array_equal(local.estimate, wire.estimate)
+        assert saved.plan is not None
+        assert saved.plan.peak_stack_bytes <= 4096
+
+    def test_run_on_hundred_site_payload(self, tmp_path, capsys):
+        """One process refreshes a ≥100-site from-disk payload (sharded)."""
+        requests_path = str(tmp_path / "requests100.npz")
+        assert (
+            main(
+                [
+                    "fleet",
+                    "export",
+                    "--sites",
+                    "100",
+                    "--link-count",
+                    "3,4",
+                    "--locations-per-link",
+                    "4",
+                    "--out",
+                    requests_path,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                ["fleet", "run", "--in", requests_path, "--max-stack-bytes", "8192"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "loaded 100 requests" in output
+        assert "sites            : 100.000" in output
+
+    def test_run_rejects_missing_payload(self, tmp_path, capsys):
+        assert main(["fleet", "run", "--in", str(tmp_path / "nope.npz")]) == 2
+        assert "cannot read wire payload" in capsys.readouterr().err
+
+    def test_export_rejects_bad_sites(self, tmp_path, capsys):
+        out = str(tmp_path / "x.npz")
+        assert main(["fleet", "export", "--sites", "0", "--out", out]) == 2
+        assert "--sites" in capsys.readouterr().err
+
+    def test_export_parser_rejects_bad_link_counts(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "export", "--out", "x.npz", "--link-count", "0"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "export", "--out", "x.npz", "--link-count", "many"]
+            )
+
+
+class TestParallelRun:
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["run", "labor_cost_savings", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["run", "labor_cost_savings", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_two_job_smoke(self, capsys):
+        """Two cheap experiments across two worker processes."""
+        assert (
+            main(["run", "labor_cost_savings", "fig20_labor_cost", "--jobs", "2"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "labor_cost_savings" in output
+        assert "fig20_labor_cost" in output
+        assert "saving_vs_50_samples" in output
+
+
 class TestFleetCommand:
     def test_tiny_fleet_refresh(self, capsys):
         assert (

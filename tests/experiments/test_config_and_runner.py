@@ -86,6 +86,48 @@ class TestRunnerRegistry:
         fig20 = runner.run("fig20_labor_cost")
         assert np.all(fig20["traditional_hours"] > fig20["iupdater_hours"])
 
+    def test_registry_documented_in_experiments_md(self):
+        """docs/EXPERIMENTS.md is generated from the registry: every
+        registered experiment must appear there by name."""
+        from pathlib import Path
+
+        doc = Path(__file__).resolve().parents[2] / "docs" / "EXPERIMENTS.md"
+        text = doc.read_text()
+        missing = [name for name in EXPERIMENTS if name not in text]
+        assert not missing, f"docs/EXPERIMENTS.md is missing: {missing}"
+
+
+class TestParallelRunner:
+    NAMES = ["labor_cost_savings", "fig20_labor_cost"]
+
+    def test_two_job_results_match_sequential(self):
+        """Process fan-out must merge deterministically: same keys, same
+        numbers, input order preserved.  These two experiments are analytic
+        (no stateful substrate sampling), so run-as-if-alone worker
+        semantics and the sequential shared-cache run coincide exactly."""
+        runner = ExperimentRunner(ExperimentConfig.quick())
+        sequential = runner.run_many(self.NAMES, jobs=1)
+        parallel = runner.run_many(self.NAMES, jobs=2)
+        assert list(parallel) == list(sequential) == self.NAMES
+        for name in self.NAMES:
+            assert set(parallel[name]) == set(sequential[name])
+            for key, value in sequential[name].items():
+                got = parallel[name][key]
+                if isinstance(value, np.ndarray):
+                    np.testing.assert_array_equal(got, value)
+                elif isinstance(value, (int, float)):
+                    assert got == pytest.approx(value)
+
+    def test_invalid_jobs_rejected(self):
+        runner = ExperimentRunner(ExperimentConfig.quick())
+        with pytest.raises(ValueError, match="jobs"):
+            runner.run_many(self.NAMES, jobs=0)
+
+    def test_unknown_name_rejected_before_spawning(self):
+        runner = ExperimentRunner(ExperimentConfig.quick())
+        with pytest.raises(KeyError, match="unknown experiments"):
+            runner.run_many(["fig99_unknown"], jobs=2)
+
 
 class TestReporting:
     def test_format_key_values(self):
