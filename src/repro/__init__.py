@@ -11,7 +11,9 @@ The package is organised around the paper's pipeline:
 * :mod:`repro.service` is the canonical entry point for refreshing
   fingerprint databases: the :class:`~repro.service.service.UpdateService`
   request/response API runs whole fleets of sites through rank-grouped,
-  cache-budgeted shards of stacked batched solves, and
+  cache-budgeted shards of stacked batched solves — in-process or scattered
+  over worker processes via the pluggable
+  :mod:`~repro.service.executor` backends — and
   :class:`~repro.service.fleet.FleetCampaign` drives the paper's three
   environments per survey stamp.  ``IUpdater`` remains as a single-site
   adapter over the service.
@@ -47,7 +49,10 @@ from repro.service import (
     FleetCampaign,
     FleetConfig,
     FleetReport,
+    ProcessExecutor,
+    SerialExecutor,
     ShardConfig,
+    ShardExecutor,
     ShardPlan,
     UpdateReport,
     UpdateRequest,
@@ -56,7 +61,7 @@ from repro.service import (
 )
 from repro.simulation.campaign import SurveyCampaign, CampaignConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "UpdateRequest",
@@ -67,6 +72,9 @@ __all__ = [
     "FleetConfig",
     "ShardConfig",
     "ShardPlan",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
     "save_requests",
     "load_requests",
     "save_report",

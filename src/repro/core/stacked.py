@@ -25,17 +25,47 @@ estimates the per-sweep system-stack footprint of one state so the scheduler
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.core.self_augmented import SelfAugmentedResult, SweepState
 from repro.utils.linalg import stacked_rank_solve, system_stack_nbytes
 
 __all__ = [
+    "ShardResult",
     "run_stacked_sweeps",
     "run_sharded_sweeps",
+    "solve_shard",
     "solve_states",
     "sweep_stack_nbytes",
 ]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of solving one shard's states: the gather-side value type.
+
+    This is what an execution backend (:mod:`repro.service.executor`) hands
+    back per shard — whether it solved the states in-process or in a worker
+    that rehydrated them from a wire payload.  It is a plain dataclass of
+    arrays and scalars, so it crosses process boundaries by pickling without
+    perturbing a single float.
+
+    Attributes
+    ----------
+    results:
+        One finalized :class:`~repro.core.self_augmented.SelfAugmentedResult`
+        per member state, in the shard's member order.
+    sweeps:
+        Lockstep sweeps the shard executed (``max`` over its members).
+    fallback:
+        Whether the stacked run was abandoned and the members were solved
+        individually (per-shard singularity isolation).
+    """
+
+    results: Tuple[SelfAugmentedResult, ...]
+    sweeps: int
+    fallback: bool = False
 
 
 def run_stacked_sweeps(states: Sequence[SweepState]) -> int:
@@ -84,6 +114,20 @@ def sweep_stack_nbytes(state: SweepState) -> int:
     a shard's sites and keeps the total under its byte budget.
     """
     return system_stack_nbytes(state.n, state.rank)
+
+
+def solve_shard(states: Sequence[SweepState]) -> ShardResult:
+    """Advance one shard's states to convergence and package the outcome.
+
+    The happy path of every execution backend: one lockstep run over the
+    shard, then one finalized result per member, in member order.  Numerical
+    failures (``LinAlgError`` / ``FloatingPointError``) propagate to the
+    caller, which owns the per-shard fallback policy.
+    """
+    sweeps = run_stacked_sweeps(states)
+    return ShardResult(
+        results=tuple(state.finalize() for state in states), sweeps=sweeps
+    )
 
 
 def solve_states(states: Sequence[SweepState]) -> List[SelfAugmentedResult]:

@@ -17,8 +17,10 @@ batched solves) and reports per-site and aggregate refresh quality.  Its
 ``export`` sub-subcommand synthesizes a fleet of N sites from the
 environment registry into an NPZ wire payload; ``run`` refreshes such a
 payload from disk — no simulator required on the serving side — and
-optionally writes the full report payload back out.  ``run --jobs N`` fans
-independent experiments out across worker processes.
+optionally writes the full report payload back out.  ``fleet run
+--workers N`` scatters the planned shards over N worker processes
+(bit-identical to serial execution); ``run --jobs N`` fans independent
+experiments out across worker processes.
 
 The output uses the same text formatters as the benchmark harness, so the
 rows can be compared directly against the paper's figures.
@@ -175,6 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
             "32 MiB ShardConfig default; 0 disables sharding)"
         ),
     )
+    fleet_run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "scatter shards over N worker processes (ProcessExecutor); "
+            "0 (default) executes serially in-process — results are "
+            "bit-identical either way"
+        ),
+    )
 
     fleet_parser.add_argument(
         "--environments",
@@ -285,16 +297,11 @@ def run_fleet_export(args) -> int:
 def run_fleet_run(args) -> int:
     """Run ``fleet run``: refresh a from-disk payload through the sharded service."""
     from repro.io import load_requests, payload_info, save_report
+    from repro.service.executor import ProcessExecutor, SerialExecutor
     from repro.service.service import UpdateService
     from repro.service.shard import ShardConfig
     from repro.service.types import FleetReport
 
-    try:
-        info = payload_info(args.input)
-        requests = load_requests(args.input)
-    except ValueError as error:
-        print(error, file=sys.stderr)
-        return 2
     if args.max_stack_bytes is None:
         shards = ShardConfig()
     elif args.max_stack_bytes == 0:
@@ -304,15 +311,32 @@ def run_fleet_run(args) -> int:
     else:
         print("--max-stack-bytes must be non-negative", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    executor = SerialExecutor() if args.workers == 0 else ProcessExecutor(args.workers)
+
+    try:
+        info = payload_info(args.input)
+        requests = load_requests(args.input)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
 
     service = UpdateService()
-    reports = service.update_fleet(requests, shards=shards)
+    try:
+        reports = service.update_fleet(requests, shards=shards, executor=executor)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     plan = service.last_plan
     report = FleetReport(
         elapsed_days=float(info.get("elapsed_days") or 0.0),
         reports=tuple(reports),
         stacked_sweeps=service.last_stacked_sweeps,
         plan=plan,
+        executor=executor.name,
+        workers=executor.workers,
     )
     print(f"loaded {len(requests)} requests from {args.input}")
     if plan is not None and plan.shard_count:
@@ -325,6 +349,10 @@ def run_fleet_run(args) -> int:
                 if plan.max_stack_bytes is not None
                 else " (unbounded)"
             )
+        )
+        print(
+            f"executor: {executor.name}"
+            + (f" ({executor.workers} workers)" if executor.workers else "")
         )
     print()
     print(format_fleet_report(report))

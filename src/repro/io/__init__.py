@@ -3,7 +3,10 @@
 ``repro.io`` is how update requests and fleet reports leave (and re-enter)
 a process: a versioned NPZ+JSON payload that preserves matrices bit-exactly
 along with masks, dtypes, seeds, pipeline configs and the executed shard
-plan.  See :mod:`repro.io.wire` for the layout and guarantees.
+plan.  The same layout works in memory (``requests_to_bytes`` /
+``requests_from_bytes``) — that is how the distributed executor scatters
+shards to worker processes.  See :mod:`repro.io.wire` for the layout and
+guarantees, and ``docs/WIRE_FORMAT.md`` for the on-disk spec.
 """
 
 from repro.io.wire import (
@@ -13,6 +16,8 @@ from repro.io.wire import (
     load_report,
     load_requests,
     payload_info,
+    requests_from_bytes,
+    requests_to_bytes,
     save_report,
     save_requests,
 )
@@ -23,6 +28,8 @@ __all__ = [
     "REPORT_FORMAT",
     "save_requests",
     "load_requests",
+    "requests_to_bytes",
+    "requests_from_bytes",
     "save_report",
     "load_report",
     "payload_info",

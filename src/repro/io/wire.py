@@ -27,6 +27,7 @@ Guarantees:
 
 from __future__ import annotations
 
+import io
 import json
 import zipfile
 from dataclasses import fields
@@ -48,6 +49,8 @@ __all__ = [
     "REPORT_FORMAT",
     "save_requests",
     "load_requests",
+    "requests_to_bytes",
+    "requests_from_bytes",
     "save_report",
     "load_report",
     "payload_info",
@@ -331,6 +334,33 @@ def load_requests(path) -> List[UpdateRequest]:
     return requests
 
 
+def requests_to_bytes(
+    requests: Sequence[UpdateRequest],
+    elapsed_days: Optional[float] = None,
+) -> bytes:
+    """Serialize requests to an in-memory wire payload (no file needed).
+
+    The scatter half of distributed shard execution: the coordinator encodes
+    each shard's member requests with the exact same layout ``fleet export``
+    writes to disk, and ships the bytes to a worker process.  The same
+    seed discipline applies — live generators are rejected.
+    """
+    buffer = io.BytesIO()
+    save_requests(buffer, requests, elapsed_days=elapsed_days)
+    return buffer.getvalue()
+
+
+def requests_from_bytes(data: bytes) -> List[UpdateRequest]:
+    """Rehydrate a :func:`requests_to_bytes` payload into validated requests.
+
+    Workers run the identical validation path as :func:`load_requests` on a
+    file — format tag, wire version, dtype cross-checks, matrix validation —
+    so a corrupt scatter payload fails with a clear ``ValueError`` instead
+    of a divergent solve.
+    """
+    return load_requests(io.BytesIO(data))
+
+
 # -------------------------------------------------------------------- reports
 def save_report(path, report: FleetReport) -> None:
     """Serialize one fleet refresh (per-site results + plan) to an NPZ payload."""
@@ -387,6 +417,10 @@ def save_report(path, report: FleetReport) -> None:
         "errors_db": {k: float(v) for k, v in report.errors_db.items()},
         "stale_errors_db": {k: float(v) for k, v in report.stale_errors_db.items()},
         "plan": None if report.plan is None else report.plan.to_json(),
+        # Optional keys (absent in pre-executor payloads; read with .get so
+        # wire version 1 stays backward compatible — see docs/WIRE_FORMAT.md).
+        "executor": None if report.executor is None else str(report.executor),
+        "workers": int(report.workers),
         "sites": site_entries,
     }
     _write_payload(path, manifest, arrays)
@@ -463,6 +497,7 @@ def load_report(path) -> FleetReport:
             ) from exc
 
     plan_data = manifest.get("plan")
+    executor = manifest.get("executor")
     return FleetReport(
         elapsed_days=float(manifest["elapsed_days"]),
         reports=tuple(reports),
@@ -472,4 +507,6 @@ def load_report(path) -> FleetReport:
         },
         stacked_sweeps=int(manifest["stacked_sweeps"]),
         plan=None if plan_data is None else ShardPlan.from_json(plan_data),
+        executor=None if executor is None else str(executor),
+        workers=int(manifest.get("workers") or 0),
     )

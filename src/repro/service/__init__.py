@@ -13,6 +13,12 @@ database at a time, this package makes the multi-site workload primary:
   (:class:`~repro.service.shard.ShardConfig` /
   :class:`~repro.service.shard.ShardPlan`), and executes every shard as
   stacked batched solves — bit-identical per site for any shard split.
+* :class:`~repro.service.executor.SerialExecutor` /
+  :class:`~repro.service.executor.ProcessExecutor` — pluggable execution
+  backends behind ``update_fleet(requests, executor=...)``: in-process by
+  default, or scatter-gather over worker processes that rehydrate their
+  shards from :mod:`repro.io` wire payloads — bit-identical for any worker
+  count.
 * :class:`~repro.service.fleet.FleetCampaign` — builds the paper's
   office / hall / library deployments and refreshes all of them per survey
   stamp, returning per-site and aggregate
@@ -24,6 +30,11 @@ database at a time, this package makes the multi-site workload primary:
 path; see ``docs/API.md`` for the public surface.
 """
 
+from repro.service.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+)
 from repro.service.fleet import PAPER_FLEET, FleetCampaign, FleetConfig
 from repro.service.service import UpdateService
 from repro.service.shard import (
@@ -48,6 +59,9 @@ __all__ = [
     "Shard",
     "ShardConfig",
     "ShardPlan",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
     "plan_shards",
     "synthesize_fleet",
 ]

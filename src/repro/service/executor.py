@@ -1,0 +1,289 @@
+"""Pluggable shard-execution backends: serial in-process or scatter-gather.
+
+The service pipeline (ingest → plan → **execute**) keeps planning and
+execution separate on purpose: a :class:`~repro.service.shard.ShardPlan` is
+pure data, so *where* its shards run is a backend choice.  This module
+defines that seam:
+
+* :class:`SerialExecutor` — the default and the reference semantics: every
+  shard advances in this process, one lockstep run after another, exactly
+  as ``UpdateService.update_fleet`` has always behaved.
+* :class:`ProcessExecutor` — scatter-gather over a
+  ``concurrent.futures.ProcessPoolExecutor``: each shard's member requests
+  are serialized with :func:`repro.io.wire.requests_to_bytes` (the same
+  versioned NPZ+JSON layout ``fleet export`` writes to disk), a worker
+  process rehydrates them with :func:`repro.io.wire.requests_from_bytes`,
+  re-runs the deterministic preparation path
+  (:func:`~repro.service.prepare.prepare_request`) and the stacked solve
+  (:func:`~repro.core.stacked.solve_shard`), and ships a
+  :class:`~repro.core.stacked.ShardResult` back.  The coordinator gathers
+  outcomes in plan order and the service reassembles reports in request
+  order, so results are **bit-identical to serial execution for any worker
+  count** — pinned by ``tests/service/test_executor.py``.
+
+Why bit-identical?  Three properties compose:
+
+1. The wire payload preserves every float, mask, dtype, config and seed
+   exactly (no pickling of live state — workers rebuild from the same bytes
+   an on-disk payload would carry).
+2. Preparation is deterministic: MIC/LRR either travel precomputed on the
+   request or are recomputed from the bit-identical baseline, and the
+   solver's random init draws from the request's integer seed.
+3. Batched LU factorises each ``(r, r)`` slice independently, so a shard
+   solved alone produces the same floats it would inside any larger stack.
+
+Because property 2 leans on the seed, :class:`ProcessExecutor` refuses
+requests whose ``rng`` is ``None`` or a live generator — a worker could not
+reproduce the coordinator's random init, silently breaking parity.  Give
+every request an integer seed (``fleet export`` payloads always carry one).
+
+Per-shard singularity isolation carries over unchanged: a shard whose
+stacked run dies on a numerical error is re-solved site by site from clean
+states (in the worker, for :class:`ProcessExecutor`) and flagged
+``fallback``; a site that fails even in isolation raises a ``RuntimeError``
+naming every offender.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.self_augmented import SelfAugmentedResult
+from repro.core.stacked import ShardResult, run_stacked_sweeps, solve_shard
+from repro.service.prepare import PreparedSite, prepare_request
+from repro.service.shard import Shard, ShardPlan, mark_executed
+from repro.service.types import UpdateRequest
+
+__all__ = [
+    "ShardExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+]
+
+_NUMERICAL_ERRORS = (np.linalg.LinAlgError, FloatingPointError)
+
+
+class ShardExecutor(ABC):
+    """Strategy interface: run a plan's shards, return results per site.
+
+    ``execute`` receives the prepared fleet and the plan, and must return
+    the executed plan (per-shard sweep counts and fallback flags recorded)
+    plus one finalized solver result per *batched* prepared-site index.
+    Implementations may mutate ``prepared`` entries only by replacing them
+    with an equivalently prepared site (the serial fallback path does, so
+    report metadata always reflects the states that actually solved).
+    """
+
+    #: Stable identifier recorded on ``FleetReport.executor``.
+    name: str = "abstract"
+
+    @property
+    def workers(self) -> int:
+        """Worker processes this backend fans out to (0 = in-process)."""
+        return 0
+
+    @abstractmethod
+    def execute(
+        self, prepared: List[PreparedSite], plan: ShardPlan
+    ) -> Tuple[ShardPlan, Dict[int, SelfAugmentedResult]]:
+        """Solve every shard; map prepared-site index → solver result."""
+
+
+def _gather(
+    plan: ShardPlan, shard: Shard, outcome: ShardResult
+) -> Tuple[ShardPlan, Dict[int, SelfAugmentedResult]]:
+    """Record one shard's outcome on the plan and key results by member."""
+    plan = mark_executed(plan, shard.index, outcome.sweeps, fallback=outcome.fallback)
+    return plan, dict(zip(shard.members, outcome.results))
+
+
+def _solve_requests_individually(
+    requests: Sequence[UpdateRequest], shard_index: int
+) -> Tuple[List[PreparedSite], ShardResult]:
+    """Fallback: solve a failed shard's sites one by one from clean states.
+
+    Every member is re-prepared and retried solo so healthy co-tenants
+    recover from the abandoned stacked run; only after all retries does a
+    site that cannot be solved even in isolation raise, naming every
+    offender so the caller can exclude them and resubmit.
+    """
+    sweeps = 0
+    failed = []
+    fresh_sites: List[PreparedSite] = []
+    results: List[SelfAugmentedResult] = []
+    for request in requests:
+        fresh = prepare_request(request)
+        try:
+            sweeps = max(sweeps, run_stacked_sweeps([fresh.state]))
+        except _NUMERICAL_ERRORS as exc:
+            failed.append((request.site, exc))
+        else:
+            fresh_sites.append(fresh)
+            results.append(fresh.state.finalize())
+    if failed:
+        sites = ", ".join(repr(site) for site, _ in failed)
+        raise RuntimeError(
+            f"sites {sites} failed to solve even in isolation "
+            f"(shard {shard_index})"
+        ) from failed[0][1]
+    return fresh_sites, ShardResult(
+        results=tuple(results), sweeps=sweeps, fallback=True
+    )
+
+
+class SerialExecutor(ShardExecutor):
+    """Execute every shard in this process, in plan order (the default)."""
+
+    name = "serial"
+
+    def execute(
+        self, prepared: List[PreparedSite], plan: ShardPlan
+    ) -> Tuple[ShardPlan, Dict[int, SelfAugmentedResult]]:
+        results: Dict[int, SelfAugmentedResult] = {}
+        for shard in plan.shards:
+            states = [prepared[index].state for index in shard.members]
+            try:
+                outcome = solve_shard(states)
+            except _NUMERICAL_ERRORS:
+                fresh_sites, outcome = _solve_requests_individually(
+                    [prepared[index].request for index in shard.members],
+                    shard.index,
+                )
+                for index, fresh in zip(shard.members, fresh_sites):
+                    prepared[index] = fresh
+            plan, shard_results = _gather(plan, shard, outcome)
+            results.update(shard_results)
+        return plan, results
+
+
+def _solve_shard_payload(payload: bytes, shard_index: int) -> ShardResult:
+    """Worker entry point: rehydrate one shard's requests and solve them.
+
+    Runs in a pool process, so it must be a top-level (picklable) function.
+    The payload travels as :mod:`repro.io.wire` bytes and re-enters through
+    the same validation as an on-disk payload; preparation and the stacked
+    solve are the exact code the serial path runs.
+    """
+    from repro.io.wire import requests_from_bytes
+
+    requests = requests_from_bytes(payload)
+    prepared = [prepare_request(request) for request in requests]
+    try:
+        return solve_shard([site.state for site in prepared])
+    except _NUMERICAL_ERRORS:
+        _, outcome = _solve_requests_individually(requests, shard_index)
+        return outcome
+
+
+class ProcessExecutor(ShardExecutor):
+    """Scatter shards over a process pool, gather bit-identical results.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes to fan shards out to; defaults to the machine's
+        CPU count.  One worker is a legal (if pointless) configuration —
+        results never depend on the count, only wall-clock does.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers
+
+    def execute(
+        self, prepared: List[PreparedSite], plan: ShardPlan
+    ) -> Tuple[ShardPlan, Dict[int, SelfAugmentedResult]]:
+        if not plan.shards:
+            return plan, {}
+        self._check_reproducible(prepared, plan)
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.io.wire import requests_to_bytes
+
+        # Ship the coordinator's MIC/LRR along with each request (the wire
+        # format carries them bit-exactly), so workers skip Inherent
+        # Correlation Acquisition instead of recomputing what the prepare
+        # stage here already paid for.
+        payloads = [
+            requests_to_bytes(
+                [self._scatter_request(prepared[index]) for index in shard.members]
+            )
+            for shard in plan.shards
+        ]
+        results: Dict[int, SelfAugmentedResult] = {}
+        workers = min(self.max_workers, len(plan.shards))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_solve_shard_payload, payload, shard.index)
+                for shard, payload in zip(plan.shards, payloads)
+            ]
+            # Gather in plan order (not completion order), so bookkeeping —
+            # like the per-site reports — is deterministic for any worker
+            # count or scheduling interleaving.
+            for shard, future in zip(plan.shards, futures):
+                plan, shard_results = _gather(plan, shard, future.result())
+                results.update(shard_results)
+        return plan, results
+
+    @staticmethod
+    def _scatter_request(site: PreparedSite) -> UpdateRequest:
+        """The request as scattered: correlation results always attached."""
+        if site.request.correlation is not None:
+            return site.request
+        return replace(site.request, correlation=(site.mic, site.lrr))
+
+    def _check_reproducible(
+        self, prepared: Sequence[PreparedSite], plan: ShardPlan
+    ) -> None:
+        """Reject seeds a worker could not reproduce the solve from."""
+        for shard in plan.shards:
+            for index in shard.members:
+                rng = prepared[index].request.rng
+                if not isinstance(rng, (int, np.integer)) or isinstance(rng, bool):
+                    raise ValueError(
+                        f"site {prepared[index].request.site!r} carries rng="
+                        f"{rng!r}; ProcessExecutor needs a reproducible "
+                        "integer seed per request so worker processes "
+                        "re-derive the coordinator's random init exactly"
+                    )
+
+
+def resolve_executor(
+    executor: Union[ShardExecutor, str, None]
+) -> ShardExecutor:
+    """Normalise the ``executor=`` argument of ``UpdateService.update_fleet``.
+
+    ``None`` and ``"serial"`` keep the in-process behaviour; ``"process"``
+    builds a CPU-count :class:`ProcessExecutor`; an instance passes through.
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, ShardExecutor):
+        return executor
+    if isinstance(executor, str):
+        if executor == "serial":
+            return SerialExecutor()
+        if executor == "process":
+            return ProcessExecutor()
+        raise ValueError(
+            f"unknown executor {executor!r}; expected 'serial' or 'process'"
+        )
+    raise TypeError(
+        "executor must be a ShardExecutor, 'serial', 'process', or None, "
+        f"got {type(executor).__name__}"
+    )

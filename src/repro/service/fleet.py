@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from repro.core.updater import IUpdater
 from repro.environments import environment_by_name
 from repro.environments.base import EnvironmentSpec
+from repro.service.executor import ShardExecutor
 from repro.service.service import UpdateService
 from repro.service.shard import ShardConfig
 from repro.service.types import FleetReport, UpdateRequest
@@ -153,14 +154,16 @@ class FleetCampaign:
         self,
         elapsed_days: float,
         shards: Union[ShardConfig, int, None] = None,
+        executor: Union["ShardExecutor", str, None] = None,
     ) -> FleetReport:
         """Refresh every site's database at ``elapsed_days`` in one stacked solve.
 
-        ``shards`` is forwarded to :meth:`UpdateService.update_fleet`; the
-        executed plan is recorded on the returned :class:`FleetReport`.
+        ``shards`` and ``executor`` are forwarded to
+        :meth:`UpdateService.update_fleet`; the executed plan and the
+        executor choice are recorded on the returned :class:`FleetReport`.
         """
         requests = self.build_requests(elapsed_days)
-        reports = self.service.update_fleet(requests, shards=shards)
+        reports = self.service.update_fleet(requests, shards=shards, executor=executor)
         errors: Dict[str, float] = {}
         stale: Dict[str, float] = {}
         for report in reports:
@@ -174,6 +177,7 @@ class FleetCampaign:
             stale[report.site] = campaign.database.original.reconstruction_error_db(
                 truth
             )
+        backend = self.service.last_executor
         return FleetReport(
             elapsed_days=elapsed_days,
             reports=tuple(reports),
@@ -181,6 +185,8 @@ class FleetCampaign:
             stale_errors_db=stale,
             stacked_sweeps=self.service.last_stacked_sweeps,
             plan=self.service.last_plan,
+            executor=None if backend is None else backend.name,
+            workers=0 if backend is None else backend.workers,
         )
 
     def refresh_all(self) -> Dict[float, FleetReport]:

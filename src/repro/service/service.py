@@ -8,7 +8,8 @@ and runs the whole fleet through a three-stage pipeline:
 1. **Ingest / prepare** — per-site Inherent Correlation Acquisition (MIC +
    LRR, skipped when the request carries a precomputed ``correlation``), the
    Constraint-1 prediction and the staged
-   :class:`~repro.core.self_augmented.SweepState`.  Requests can come from
+   :class:`~repro.core.self_augmented.SweepState`
+   (:func:`~repro.service.prepare.prepare_request`).  Requests can come from
    anywhere: built in memory by :class:`~repro.service.fleet.FleetCampaign`,
    or loaded from a serialized payload via :func:`repro.io.load_requests`.
 2. **Plan** — :func:`~repro.service.shard.plan_shards` groups the batched
@@ -18,22 +19,29 @@ and runs the whole fleet through a three-stage pipeline:
    :class:`~repro.service.shard.ShardConfig` byte budget, so one process can
    refresh hundreds of sites without the per-sweep system stack outgrowing
    cache.
-3. **Execute** — every shard advances only its own states through
-   :func:`~repro.core.stacked.run_stacked_sweeps`; a shard whose stacked run
-   dies on a numerical error falls back to re-preparing and solving its
-   member sites individually, so co-tenants are never left with the
-   abandoned run's partially-advanced sweeps (per-shard singularity
-   isolation; a site that fails even in isolation raises a ``RuntimeError``
-   naming it, so the caller can exclude it and resubmit).  Reports are
-   reassembled in request order, and the executed plan is available as
-   :attr:`UpdateService.last_plan` and travels on
-   :class:`~repro.service.types.FleetReport`.
+3. **Execute** — a pluggable :class:`~repro.service.executor.ShardExecutor`
+   backend runs the plan: the default
+   :class:`~repro.service.executor.SerialExecutor` advances every shard in
+   this process through :func:`~repro.core.stacked.solve_shard`, while
+   :class:`~repro.service.executor.ProcessExecutor` scatters shards over a
+   process pool (workers rehydrate their shard from a :mod:`repro.io` wire
+   payload) and gathers the results — bit-identical either way.  Per-shard
+   singularity isolation applies in both: a shard whose stacked run dies on
+   a numerical error falls back to re-preparing and solving its member
+   sites individually, so co-tenants are never left with the abandoned
+   run's partially-advanced sweeps (a site that fails even in isolation
+   raises a ``RuntimeError`` naming it, so the caller can exclude it and
+   resubmit).  Reports are reassembled in request order, and the executed
+   plan is available as :attr:`UpdateService.last_plan` and travels on
+   :class:`~repro.service.types.FleetReport` along with the executor name
+   and worker count.
 
 Per-site results are bit-identical to independent
-:meth:`~repro.core.updater.IUpdater.update` runs for every shard split —
-pinned by ``tests/service/test_fleet_parity.py``: batched LU factorises each
-slice independently, and heterogeneous ranks are solved per rank group
-rather than padded, so no site's floating-point result is perturbed.
+:meth:`~repro.core.updater.IUpdater.update` runs for every shard split and
+every executor backend — pinned by ``tests/service/test_fleet_parity.py``
+and ``tests/service/test_executor.py``: batched LU factorises each slice
+independently, and heterogeneous ranks are solved per rank group rather
+than padded, so no site's floating-point result is perturbed.
 
 Sites configured with the ``"looped"`` reference backend cannot ride the
 stacked solve; the service runs them through the same reference path
@@ -42,22 +50,15 @@ stacked solve; the service runs them through the same reference path
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.core.lrr import LRRResult, low_rank_representation
-from repro.core.mic import MICResult, select_reference_locations
-from repro.core.self_augmented import SelfAugmentedResult, SweepState, solve_state
-from repro.core.stacked import run_stacked_sweeps, sweep_stack_nbytes
-from repro.core.updater import UpdateResult
-from repro.fingerprint.matrix import FingerprintMatrix
+from repro.core.self_augmented import solve_state
+from repro.core.stacked import sweep_stack_nbytes
+from repro.service.executor import ShardExecutor, resolve_executor
+from repro.service.prepare import PreparedSite, prepare_request
 from repro.service.shard import (
-    Shard,
     ShardConfig,
     ShardPlan,
-    mark_executed,
     plan_shards,
     resolve_shard_config,
 )
@@ -66,52 +67,13 @@ from repro.service.types import UpdateReport, UpdateRequest
 __all__ = ["UpdateService"]
 
 
-@dataclass
-class _PreparedSite:
-    """A request after Inherent Correlation Acquisition, ready to solve."""
-
-    request: UpdateRequest
-    mic: MICResult
-    lrr: LRRResult
-    reference_indices: Tuple[int, ...]
-    state: SweepState
-
-    @property
-    def backend(self) -> str:
-        return self.state.cfg.solver_backend
-
-    def report(self, solver_result: SelfAugmentedResult) -> UpdateReport:
-        request = self.request
-        baseline = request.baseline
-        matrix = FingerprintMatrix(
-            values=solver_result.estimate,
-            locations_per_link=baseline.locations_per_link,
-            no_decrease_mask=baseline.no_decrease_mask.copy()
-            if baseline.no_decrease_mask is not None
-            else None,
-        )
-        result = UpdateResult(
-            matrix=matrix,
-            reference_indices=self.reference_indices,
-            mic=self.mic,
-            lrr=self.lrr,
-            solver=solver_result,
-        )
-        return UpdateReport(
-            site=request.site,
-            result=result,
-            sweeps=solver_result.iterations,
-            converged=solver_result.converged,
-            solver_backend=self.backend,
-        )
-
-
 class UpdateService:
     """Fleet-first fingerprint update service over the stacked ALS core."""
 
     def __init__(self) -> None:
         self._last_stacked_sweeps = 0
         self._last_plan: Optional[ShardPlan] = None
+        self._last_executor: Optional[ShardExecutor] = None
 
     @property
     def last_stacked_sweeps(self) -> int:
@@ -129,6 +91,11 @@ class UpdateService:
         """The executed shard plan of the most recent :meth:`update_fleet`."""
         return self._last_plan
 
+    @property
+    def last_executor(self) -> Optional[ShardExecutor]:
+        """The execution backend the most recent :meth:`update_fleet` used."""
+        return self._last_executor
+
     def update(self, request: UpdateRequest) -> UpdateReport:
         """Refresh a single site (a one-request fleet)."""
         return self.update_fleet([request])[0]
@@ -137,6 +104,7 @@ class UpdateService:
         self,
         requests: Sequence[UpdateRequest],
         shards: Union[ShardConfig, int, None] = None,
+        executor: Union[ShardExecutor, str, None] = None,
     ) -> List[UpdateReport]:
         """Refresh every requested site through the prepare/plan/execute pipeline.
 
@@ -151,15 +119,24 @@ class UpdateService:
             :class:`~repro.service.shard.ShardConfig` (or a plain byte
             budget) additionally splits each rank group so every shard's
             per-sweep system stack fits the budget.
+        executor:
+            Execution backend: ``None`` / ``"serial"`` (default) solves every
+            shard in this process; ``"process"`` or a configured
+            :class:`~repro.service.executor.ProcessExecutor` scatters shards
+            over worker processes.  Results are bit-identical either way
+            (``ProcessExecutor`` requires integer request seeds).
 
-        Returns the per-site reports in request order; any shard split
-        yields bit-identical per-site results.  Looped-backend sites are
-        solved with the per-column reference implementation as before.
+        Returns the per-site reports in request order; any shard split and
+        any executor backend yields bit-identical per-site results.
+        Looped-backend sites are solved with the per-column reference
+        implementation as before.
         """
         requests = list(requests)
+        backend = resolve_executor(executor)
         if not requests:
             self._last_stacked_sweeps = 0
             self._last_plan = None
+            self._last_executor = backend
             return []
         sites = [request.site for request in requests]
         if len(set(sites)) != len(sites):
@@ -167,84 +144,30 @@ class UpdateService:
 
         prepared = [self._prepare(request) for request in requests]
         plan = self._plan(prepared, resolve_shard_config(shards))
-        plan = self._execute(prepared, plan)
+        plan, solver_results = backend.execute(prepared, plan)
 
         self._last_plan = plan
+        self._last_executor = backend
         self._last_stacked_sweeps = max(
             (shard.sweeps for shard in plan.shards), default=0
         )
 
         reports = []
-        for site in prepared:
+        for index, site in enumerate(prepared):
             if site.backend == "batched":
-                reports.append(site.report(site.state.finalize()))
+                reports.append(site.report(solver_results[index]))
             else:
                 reports.append(site.report(solve_state(site.state)))
         return reports
 
     # ------------------------------------------------------------ preparation
-    def _prepare(self, request: UpdateRequest) -> _PreparedSite:
-        """Run Inherent Correlation Acquisition and stage the site's solve.
-
-        This is the per-site half of the pipeline ``IUpdater.update`` used to
-        own: MIC selection + LRR on the baseline, the Constraint-1 prediction
-        ``P = X_R Z``, and the merge of the fresh reference columns into the
-        observation mask.
-        """
-        config = request.config
-        if request.correlation is not None:
-            mic, lrr = request.correlation
-        else:
-            mic = select_reference_locations(
-                request.baseline.values,
-                count=config.reference_count,
-                strategy=config.mic_strategy,
-            )
-            lrr = low_rank_representation(
-                request.baseline.values, mic.mic_matrix, config=config.lrr
-            )
-
-        reference_indices = request.reference_indices
-        if reference_indices is None:
-            reference_indices = tuple(int(i) for i in mic.indices)
-        if request.reference_matrix.shape[1] != len(reference_indices):
-            raise ValueError(
-                "reference_matrix must have one column per reference index"
-            )
-
-        # Constraint 1 prediction P = X_R Z, valid when the reference columns
-        # match the MIC columns the correlation matrix was built from.
-        if len(reference_indices) == lrr.correlation.shape[0]:
-            prediction: Optional[np.ndarray] = lrr.predict(request.reference_matrix)
-        else:
-            prediction = None
-
-        observed = request.no_decrease_matrix.copy()
-        mask = request.no_decrease_mask.copy()
-        if config.include_reference_in_mask:
-            for k, j in enumerate(reference_indices):
-                observed[:, j] = request.reference_matrix[:, k]
-                mask[:, j] = 1.0
-
-        state = SweepState(
-            observed,
-            mask,
-            request.baseline.locations_per_link,
-            prediction=prediction,
-            config=config.resolved_solver(),
-            rng=request.rng,
-        )
-        return _PreparedSite(
-            request=request,
-            mic=mic,
-            lrr=lrr,
-            reference_indices=reference_indices,
-            state=state,
-        )
+    def _prepare(self, request: UpdateRequest) -> PreparedSite:
+        """Stage one site's solve (see :func:`repro.service.prepare.prepare_request`)."""
+        return prepare_request(request)
 
     # --------------------------------------------------------------- planning
     def _plan(
-        self, prepared: Sequence[_PreparedSite], config: ShardConfig
+        self, prepared: Sequence[PreparedSite], config: ShardConfig
     ) -> ShardPlan:
         """Build the rank-grouped, byte-budgeted schedule of the batched sites.
 
@@ -263,56 +186,3 @@ class UpdateService:
             config=config,
             indices=[index for index, _ in stacked],
         )
-
-    # -------------------------------------------------------------- execution
-    def _execute(
-        self, prepared: List[_PreparedSite], plan: ShardPlan
-    ) -> ShardPlan:
-        """Advance every shard's states; isolate numerical failures per shard.
-
-        A shard whose stacked run raises a numerical error is re-solved site
-        by site from freshly prepared states, so a pathological site cannot
-        corrupt its co-tenants' partially-advanced sweeps.  (In practice the
-        stacked primitives already absorb singular slices per slice, so this
-        path only fires on hard failures such as an LAPACK non-convergence.)
-        Returns the plan with per-shard sweep counts (and any fallbacks)
-        recorded.
-        """
-        for shard in plan.shards:
-            states = [prepared[index].state for index in shard.members]
-            try:
-                sweeps = run_stacked_sweeps(states)
-            except (np.linalg.LinAlgError, FloatingPointError):
-                sweeps = self._execute_fallback(prepared, shard)
-                plan = mark_executed(plan, shard.index, sweeps, fallback=True)
-            else:
-                plan = mark_executed(plan, shard.index, sweeps)
-        return plan
-
-    def _execute_fallback(
-        self, prepared: List[_PreparedSite], shard: Shard
-    ) -> int:
-        """Solve a failed shard's sites one by one from clean states.
-
-        Every member is re-prepared and retried solo so healthy co-tenants
-        recover from the abandoned stacked run; only after all retries does
-        a site that cannot be solved even in isolation raise, naming every
-        offender so the caller can exclude them and resubmit.
-        """
-        sweeps = 0
-        failed = []
-        for index in shard.members:
-            fresh = self._prepare(prepared[index].request)
-            try:
-                sweeps = max(sweeps, run_stacked_sweeps([fresh.state]))
-            except (np.linalg.LinAlgError, FloatingPointError) as exc:
-                failed.append((fresh.request.site, exc))
-            else:
-                prepared[index] = fresh
-        if failed:
-            sites = ", ".join(repr(site) for site, _ in failed)
-            raise RuntimeError(
-                f"sites {sites} failed to solve even in isolation "
-                f"(shard {shard.index})"
-            ) from failed[0][1]
-        return sweeps

@@ -172,6 +172,14 @@ class FleetReport:
         rode which rank-grouped, byte-budgeted shard, per-shard sweep counts
         and any singularity fallbacks.  ``None`` when the producer did not
         record one.
+    executor:
+        Name of the :class:`~repro.service.executor.ShardExecutor` backend
+        that ran the plan (``"serial"`` or ``"process"``); ``None`` when the
+        producer did not record one.
+    workers:
+        Worker processes the executor fanned shards out to (0 for
+        in-process execution).  Purely bookkeeping: results are
+        bit-identical for any worker count.
     """
 
     elapsed_days: float
@@ -180,6 +188,8 @@ class FleetReport:
     stale_errors_db: Dict[str, float] = field(default_factory=dict)
     stacked_sweeps: int = 0
     plan: Optional[ShardPlan] = None
+    executor: Optional[str] = None
+    workers: int = 0
 
     @property
     def sites(self) -> Tuple[str, ...]:
@@ -217,6 +227,8 @@ class FleetReport:
         if self.plan is not None:
             summary["shards"] = float(self.plan.shard_count)
             summary["peak_stack_bytes"] = float(self.plan.peak_stack_bytes)
+        if self.executor is not None:
+            summary["workers"] = float(self.workers)
         if self.errors_db:
             errors = np.asarray(list(self.errors_db.values()), dtype=float)
             summary["mean_error_db"] = float(errors.mean())

@@ -177,6 +177,55 @@ class TestFleetWireCommands:
         assert "loaded 100 requests" in output
         assert "sites            : 100.000" in output
 
+    def test_run_with_workers_matches_serial(self, tmp_path, capsys):
+        """fleet run --workers N end to end: same payload, same report."""
+        from repro.io import load_report
+
+        requests_path = str(tmp_path / "requests.npz")
+        serial_path = str(tmp_path / "serial.npz")
+        scattered_path = str(tmp_path / "scattered.npz")
+        assert (
+            main(
+                [
+                    "fleet",
+                    "export",
+                    "--sites",
+                    "6",
+                    "--link-count",
+                    "3,4",
+                    "--locations-per-link",
+                    "4",
+                    "--out",
+                    requests_path,
+                ]
+            )
+            == 0
+        )
+        base = ["fleet", "run", "--in", requests_path, "--max-stack-bytes", "4096"]
+        assert main(base + ["--out", serial_path]) == 0
+        capsys.readouterr()
+        assert main(base + ["--out", scattered_path, "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "executor: process (2 workers)" in output
+
+        serial = load_report(serial_path)
+        scattered = load_report(scattered_path)
+        assert serial.executor == "serial" and serial.workers == 0
+        assert scattered.executor == "process" and scattered.workers == 2
+        assert scattered.sites == serial.sites
+        for ours, theirs in zip(scattered.reports, serial.reports):
+            np.testing.assert_array_equal(ours.estimate, theirs.estimate)
+        assert scattered.plan == serial.plan
+
+    def test_run_rejects_negative_workers(self, tmp_path, capsys):
+        assert (
+            main(
+                ["fleet", "run", "--in", str(tmp_path / "x.npz"), "--workers", "-1"]
+            )
+            == 2
+        )
+        assert "--workers" in capsys.readouterr().err
+
     def test_run_rejects_missing_payload(self, tmp_path, capsys):
         assert main(["fleet", "run", "--in", str(tmp_path / "nope.npz")]) == 2
         assert "cannot read wire payload" in capsys.readouterr().err

@@ -297,3 +297,39 @@ class TestReportRoundTrip:
         loaded = load_report(path)
         assert loaded.plan == solved.plan
         assert loaded.aggregate() == solved.aggregate()
+
+    def test_executor_fields_round_trip(self, solved, tmp_path):
+        from dataclasses import replace
+
+        path = tmp_path / "report.npz"
+        save_report(path, replace(solved, executor="process", workers=4))
+        loaded = load_report(path)
+        assert loaded.executor == "process"
+        assert loaded.workers == 4
+        assert loaded.aggregate()["workers"] == 4.0
+
+    def test_unrecorded_executor_stays_none(self, solved, tmp_path):
+        path = tmp_path / "report.npz"
+        save_report(path, solved)
+        loaded = load_report(path)
+        assert loaded.executor is None
+        assert loaded.workers == 0
+
+    def test_pre_executor_payload_still_loads(self, solved, tmp_path):
+        """Wire version 1 payloads written before the executor fields existed
+        carry no executor/workers manifest keys; loading must default them
+        rather than fail (the additive-keys compatibility policy of
+        docs/WIRE_FORMAT.md)."""
+        saved = tmp_path / "report.npz"
+        save_report(saved, solved)
+        legacy = tmp_path / "legacy.npz"
+
+        def strip(manifest):
+            manifest.pop("executor", None)
+            manifest.pop("workers", None)
+
+        _rewrite_manifest(saved, legacy, strip)
+        loaded = load_report(legacy)
+        assert loaded.executor is None
+        assert loaded.workers == 0
+        assert loaded.sites == solved.sites

@@ -1,0 +1,88 @@
+"""Docs drift guards: the documentation must track the code it describes.
+
+Extends the ``docs/EXPERIMENTS.md`` sync-test pattern
+(``tests/experiments/test_config_and_runner.py``) to the whole doc set:
+every public symbol the package exports must be mentioned in the API
+reference, and every internal link in README / docs must resolve to a file
+that exists.  These run in tier-1, so a PR that adds an export or moves a
+page without updating the docs fails fast.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOC_PAGES = sorted((REPO_ROOT / "docs").glob("*.md"))
+LINKED_PAGES = [REPO_ROOT / "README.md", *DOC_PAGES]
+
+# Markdown inline links: [text](target), skipping images and code spans.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _internal_links(page: Path):
+    """Yield (target, resolved_path) for every relative link on the page."""
+    for target in _LINK.findall(page.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure same-page anchor
+            continue
+        yield target, (page.parent / path_part).resolve()
+
+
+class TestApiReferenceSync:
+    def test_every_public_symbol_documented(self):
+        """docs/API.md must mention every name exported from ``repro``."""
+        text = (REPO_ROOT / "docs" / "API.md").read_text()
+        missing = [
+            name
+            for name in repro.__all__
+            if not name.startswith("__") and name not in text
+        ]
+        assert not missing, (
+            f"docs/API.md is missing public symbols: {missing}; "
+            "document them (or stop exporting them from repro/__init__.py)"
+        )
+
+    def test_all_documented_pages_exist(self):
+        """The doc set itself must contain the pages README promises."""
+        names = {page.name for page in DOC_PAGES}
+        assert {
+            "API.md",
+            "ARCHITECTURE.md",
+            "WIRE_FORMAT.md",
+            "EXPERIMENTS.md",
+        } <= names
+
+
+class TestInternalLinks:
+    @pytest.mark.parametrize(
+        "page", LINKED_PAGES, ids=[p.name for p in LINKED_PAGES]
+    )
+    def test_links_resolve(self, page):
+        broken = [
+            target
+            for target, resolved in _internal_links(page)
+            if not resolved.exists()
+        ]
+        assert not broken, f"{page.name} has broken internal links: {broken}"
+
+    def test_pages_actually_cross_link(self):
+        """The link checker must be checking something real."""
+        total = sum(len(list(_internal_links(page))) for page in LINKED_PAGES)
+        assert total >= 10, f"only {total} internal links found — regex drift?"
+
+
+class TestCliDocsSync:
+    def test_workers_flag_documented(self):
+        """The distributed-execution flag must be in the CLI's own docs."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        assert "--workers" in api
+        from repro.experiments.cli import build_parser
+
+        help_text = build_parser().format_help()
+        assert "fleet" in help_text
