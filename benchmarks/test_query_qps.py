@@ -1,0 +1,111 @@
+"""Serving throughput: looped vs vectorized queries/sec on the read path.
+
+A refreshed synthetic site is published into two :class:`QueryEngine`
+variants — the per-query ``"looped"`` reference backend and the batched
+``"vectorized"`` backend — and the same query workload is timed through
+both at batch sizes 1, 64 and 1024.  Answers must be identical (the parity
+invariant the serving engine rests on); the rows are printed as
+``BENCH_query_qps_*`` (and optionally written as JSON for CI artifacts via
+``REPRO_BENCH_JSON``).
+
+The hard performance assertion — the vectorized backend clears ≥ 10x the
+looped throughput at the 1024-query batch — is the point of the read path:
+one distance-matrix GEMM instead of 1024 per-query evaluations.  It can be
+skipped on noisy runners via ``REPRO_SKIP_PERF_ASSERT``; the parity
+assertions always run.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.query import QueryConfig, QueryEngine
+from repro.service.service import UpdateService
+from repro.service.synthetic import synthesize_fleet
+from repro.service.types import FleetReport
+
+BATCH_SIZES = (1, 64, 1024)
+REPEATS = 3
+MIN_SPEEDUP_AT_1024 = 10.0
+
+
+@pytest.fixture(scope="module")
+def served_site():
+    """One genuinely refreshed site published into both engine backends."""
+    requests = synthesize_fleet(
+        1, elapsed_days=45.0, seed=11, link_count=8, locations_per_link=8
+    )
+    reports = UpdateService().update_fleet(requests)
+    report = FleetReport(elapsed_days=45.0, reports=tuple(reports))
+    engines = {
+        backend: QueryEngine(QueryConfig(matcher="knn", matcher_backend=backend))
+        for backend in ("looped", "vectorized")
+    }
+    for engine in engines.values():
+        engine.publish_report(report)
+    site = report.sites[0]
+    return engines, site, report.report_for(site).matrix
+
+
+def test_query_qps_vectorized_vs_looped(served_site):
+    """Identical answers, ≥ 10x throughput at the 1024-query batch."""
+    engines, site, matrix = served_site
+    rng = np.random.default_rng(29)
+
+    rows = {
+        "links": matrix.link_count,
+        "grids": matrix.location_count,
+        "matcher": "knn",
+    }
+    qps = {}
+    for batch_size in BATCH_SIZES:
+        truth = rng.integers(0, matrix.location_count, size=batch_size)
+        queries = matrix.values.T[truth] + rng.normal(
+            0.0, 0.5, size=(batch_size, matrix.link_count)
+        )
+        answers = {}
+        for backend, engine in engines.items():
+            best = float("inf")
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                answers[backend] = engine.localize_batch(site, queries)
+                best = min(best, time.perf_counter() - start)
+            qps[(backend, batch_size)] = batch_size / best
+
+        # Hard invariant: vectorization never changes an answer.
+        np.testing.assert_array_equal(
+            answers["vectorized"].indices, answers["looped"].indices
+        )
+        np.testing.assert_allclose(
+            answers["vectorized"].points, answers["looped"].points, atol=1e-10
+        )
+
+        rows[f"looped_qps_b{batch_size}"] = round(qps[("looped", batch_size)], 1)
+        rows[f"vectorized_qps_b{batch_size}"] = round(
+            qps[("vectorized", batch_size)], 1
+        )
+        rows[f"speedup_b{batch_size}"] = round(
+            qps[("vectorized", batch_size)] / qps[("looped", batch_size)], 2
+        )
+
+    print()
+    for key, value in rows.items():
+        print(f"BENCH_query_qps_{key}: {value}")
+
+    json_path = os.environ.get("REPRO_BENCH_JSON")
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump({"query_qps": rows}, handle, indent=2)
+
+    if os.environ.get("REPRO_SKIP_PERF_ASSERT"):
+        pytest.skip("REPRO_SKIP_PERF_ASSERT set; BENCH_ rows recorded above")
+    largest = BATCH_SIZES[-1]
+    speedup = rows[f"speedup_b{largest}"]
+    assert speedup >= MIN_SPEEDUP_AT_1024, (
+        f"vectorized backend only {speedup:.1f}x over looped at "
+        f"{largest}-query batches; the GEMM path should clear "
+        f"{MIN_SPEEDUP_AT_1024:.0f}x"
+    )

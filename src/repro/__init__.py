@@ -17,10 +17,16 @@ The package is organised around the paper's pipeline:
   :class:`~repro.service.fleet.FleetCampaign` drives the paper's three
   environments per survey stamp.  ``IUpdater`` remains as a single-site
   adapter over the service.
-* :mod:`repro.io` serializes fleets to and from disk: the NPZ+JSON wire
-  format behind ``fleet export`` / ``fleet run --in/--out``.
+* :mod:`repro.io` serializes fleets, query workloads and answers to and
+  from disk: the NPZ+JSON wire format behind ``fleet export`` / ``fleet run
+  --in/--out`` and ``query export`` / ``query run``.
 * :mod:`repro.localization` implements the OMP localizer and the KNN / SVR /
   RASS baselines.
+* :mod:`repro.query` is the read-path counterpart of the service: the
+  :class:`~repro.query.engine.QueryEngine` serves batched localization
+  queries against immutable per-site
+  :class:`~repro.query.index.QueryIndex` snapshots of refreshed fleet
+  databases, with atomic generation hot-swap and an LRU result cache.
 * :mod:`repro.simulation` drives multi-timestamp survey campaigns and the
   labor-cost model.
 * :mod:`repro.experiments` regenerates every figure of the paper's
@@ -39,12 +45,26 @@ from repro.environments import (
 from repro.fingerprint.matrix import FingerprintMatrix
 from repro.fingerprint.database import FingerprintDatabase
 from repro.io import (
+    load_answers,
+    load_queries,
     load_report,
     load_requests,
+    save_answers,
+    save_queries,
     save_report,
     save_requests,
 )
 from repro.localization.omp import OMPLocalizer
+from repro.query import (
+    GenerationStore,
+    QueryAnswer,
+    QueryBatch,
+    QueryConfig,
+    QueryEngine,
+    QueryIndex,
+    grid_locations,
+    indexes_from_report,
+)
 from repro.service import (
     FleetCampaign,
     FleetConfig,
@@ -61,7 +81,7 @@ from repro.service import (
 )
 from repro.simulation.campaign import SurveyCampaign, CampaignConfig
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "UpdateRequest",
@@ -79,6 +99,18 @@ __all__ = [
     "load_requests",
     "save_report",
     "load_report",
+    "save_queries",
+    "load_queries",
+    "save_answers",
+    "load_answers",
+    "QueryEngine",
+    "QueryConfig",
+    "QueryIndex",
+    "QueryBatch",
+    "QueryAnswer",
+    "GenerationStore",
+    "indexes_from_report",
+    "grid_locations",
     "synthesize_fleet",
     "IUpdater",
     "UpdaterConfig",

@@ -188,6 +188,107 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    query_parser = subparsers.add_parser(
+        "query",
+        help="serve localization queries against a refreshed fleet report",
+    )
+    query_sub = query_parser.add_subparsers(dest="query_command", required=True)
+
+    query_export_parser = query_sub.add_parser(
+        "export",
+        help="sample a query workload from a report payload into an NPZ",
+    )
+    query_export_parser.add_argument(
+        "--report", required=True, help="report payload written by 'fleet run' (.npz)"
+    )
+    query_export_parser.add_argument(
+        "--out", required=True, help="destination queries payload (.npz)"
+    )
+    query_export_parser.add_argument(
+        "--per-site", type=int, default=16, help="queries sampled per site"
+    )
+    query_export_parser.add_argument(
+        "--noise-db",
+        type=float,
+        default=0.5,
+        help="stddev of the Gaussian noise added to each sampled fingerprint",
+    )
+    query_export_parser.add_argument(
+        "--seed", type=int, default=7, help="workload sampling seed"
+    )
+
+    query_run_parser = query_sub.add_parser(
+        "run",
+        help="answer a queries payload against a report through the QueryEngine",
+    )
+    query_run_parser.add_argument(
+        "--report", required=True, help="report payload the engine serves (.npz)"
+    )
+    query_run_parser.add_argument(
+        "--queries", required=True, help="queries payload from 'query export' (.npz)"
+    )
+    query_run_parser.add_argument(
+        "--out", default=None, help="optional destination answers payload (.npz)"
+    )
+    query_run_parser.add_argument(
+        "--matcher",
+        choices=("knn", "omp", "svr", "rass"),
+        default="knn",
+        help="localization matcher the engine binds per site",
+    )
+    query_run_parser.add_argument(
+        "--backend",
+        choices=("vectorized", "looped"),
+        default="vectorized",
+        help="matcher backend: batched GEMM path or the per-query reference",
+    )
+    query_run_parser.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        help="LRU result-cache capacity in entries (0 disables caching)",
+    )
+
+    query_bench_parser = query_sub.add_parser(
+        "bench",
+        help="measure queries/sec of the looped vs vectorized backends",
+    )
+    query_bench_parser.add_argument(
+        "--report",
+        default=None,
+        help="report payload to serve (default: refresh a small fleet in-process)",
+    )
+    query_bench_parser.add_argument(
+        "--matcher",
+        choices=("knn", "omp", "svr", "rass"),
+        default="knn",
+        help="matcher to benchmark",
+    )
+    query_bench_parser.add_argument(
+        "--batch-sizes",
+        type=_parse_int_list,
+        default=[1, 64, 1024],
+        help="comma-separated query batch sizes (default 1,64,1024)",
+    )
+    query_bench_parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best is kept)"
+    )
+    query_bench_parser.add_argument(
+        "--noise-db", type=float, default=0.5, help="query noise stddev"
+    )
+    query_bench_parser.add_argument(
+        "--seed", type=int, default=7, help="workload sampling seed"
+    )
+    query_bench_parser.add_argument(
+        "--qps-target",
+        type=float,
+        default=None,
+        help=(
+            "fail (exit 1) unless the vectorized backend reaches this many "
+            "queries/sec at the largest batch size"
+        ),
+    )
+
     fleet_parser.add_argument(
         "--environments",
         type=_parse_environments,
@@ -362,6 +463,213 @@ def run_fleet_run(args) -> int:
     return 0
 
 
+def run_query_export(args) -> int:
+    """Run ``query export``: sample a query workload from a report payload."""
+    import numpy as np
+
+    from repro.io import load_report, save_queries
+    from repro.query import QueryBatch, grid_locations
+
+    if args.per_site <= 0:
+        print(f"--per-site must be positive, got {args.per_site}", file=sys.stderr)
+        return 2
+    if args.noise_db < 0:
+        print("--noise-db must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        report = load_report(args.report)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    batches = []
+    for offset, site_report in enumerate(report.reports):
+        matrix = site_report.matrix
+        rng = np.random.default_rng(args.seed + offset * 1009)
+        true_indices = rng.integers(0, matrix.location_count, size=args.per_site)
+        measurements = matrix.values.T[true_indices] + rng.normal(
+            0.0, args.noise_db, size=(args.per_site, matrix.link_count)
+        )
+        batches.append(
+            QueryBatch(
+                site=site_report.site,
+                measurements=measurements,
+                true_indices=true_indices,
+                locations=grid_locations(
+                    matrix.link_count, matrix.locations_per_link
+                ),
+            )
+        )
+    save_queries(args.out, batches)
+    total = sum(batch.count for batch in batches)
+    print(f"wrote {total} queries over {len(batches)} sites to {args.out}")
+    return 0
+
+
+def run_query_run(args) -> int:
+    """Run ``query run``: answer a queries payload against a report payload."""
+    import time
+
+    import numpy as np
+
+    from repro.io import load_queries, load_report, save_answers
+    from repro.localization.metrics import localization_errors
+    from repro.query import QueryConfig, QueryEngine
+
+    if args.cache < 0:
+        print("--cache must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        report = load_report(args.report)
+        batches = load_queries(args.queries)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    engine = QueryEngine(
+        QueryConfig(
+            matcher=args.matcher,
+            matcher_backend=args.backend,
+            cache_size=args.cache,
+        )
+    )
+    locations = {
+        batch.site: batch.locations
+        for batch in batches
+        if batch.locations is not None
+    }
+    try:
+        generation = engine.publish_report(report, locations=locations)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(
+        f"serving generation {generation.ordinal} ({generation.label}): "
+        f"{len(generation.sites)} sites, matcher={args.matcher}, "
+        f"backend={args.backend}"
+    )
+
+    answers = []
+    total_queries = 0
+    start = time.perf_counter()
+    for batch in batches:
+        try:
+            answers.append(engine.answer(batch))
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        total_queries += batch.count
+    elapsed = time.perf_counter() - start
+
+    errors = []
+    for batch, answer in zip(batches, answers):
+        if batch.true_indices is None or batch.locations is None:
+            continue
+        if answer.points is None:
+            continue
+        errors.extend(
+            localization_errors(batch.locations[batch.true_indices], answer.points)
+        )
+    qps = total_queries / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"answered {total_queries} queries in {elapsed:.3f}s ({qps:,.0f} queries/s)"
+    )
+    if args.cache:
+        hits = sum(answer.cache_hits for answer in answers)
+        print(f"cache: {hits}/{total_queries} hits")
+    if errors:
+        errors = np.asarray(errors)
+        print(
+            f"accuracy vs ground truth: mean {errors.mean():.3f} m, "
+            f"median {np.median(errors):.3f} m over {errors.size} queries"
+        )
+    if args.out:
+        save_answers(args.out, answers)
+        print(f"wrote {len(answers)} answer batches to {args.out}")
+    return 0
+
+
+def run_query_bench(args) -> int:
+    """Run ``query bench``: looped vs vectorized queries/sec at several batches."""
+    import time
+
+    import numpy as np
+
+    from repro.query import QueryConfig, QueryEngine
+
+    if args.repeats <= 0:
+        print("--repeats must be positive", file=sys.stderr)
+        return 2
+    if args.report is not None:
+        from repro.io import load_report
+
+        try:
+            report = load_report(args.report)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    else:
+        from repro.service.service import UpdateService
+        from repro.service.synthetic import synthesize_fleet
+        from repro.service.types import FleetReport
+
+        requests = synthesize_fleet(
+            1, link_count=8, locations_per_link=8, seed=args.seed
+        )
+        reports = UpdateService().update_fleet(requests)
+        report = FleetReport(elapsed_days=45.0, reports=tuple(reports))
+        print("no --report given; refreshed a 1-site fleet in-process")
+
+    engines = {
+        backend: QueryEngine(
+            QueryConfig(matcher=args.matcher, matcher_backend=backend)
+        )
+        for backend in ("looped", "vectorized")
+    }
+    for engine in engines.values():
+        engine.publish_report(report)
+    site = engines["vectorized"].sites[0]
+    site_report = report.report_for(site)
+    matrix = site_report.matrix
+    rng = np.random.default_rng(args.seed)
+
+    print(
+        f"site {site!r}: {matrix.link_count} links x "
+        f"{matrix.location_count} grids, matcher={args.matcher}"
+    )
+    target_met = True
+    for batch_size in args.batch_sizes:
+        truth = rng.integers(0, matrix.location_count, size=batch_size)
+        queries = matrix.values.T[truth] + rng.normal(
+            0.0, args.noise_db, size=(batch_size, matrix.link_count)
+        )
+        qps = {}
+        for backend, engine in engines.items():
+            best = float("inf")
+            for _ in range(args.repeats):
+                start = time.perf_counter()
+                engine.localize_batch(site, queries)
+                best = min(best, time.perf_counter() - start)
+            qps[backend] = batch_size / best if best > 0 else float("inf")
+        speedup = qps["vectorized"] / qps["looped"]
+        print(
+            f"batch {batch_size:>5}: looped {qps['looped']:>12,.0f} q/s | "
+            f"vectorized {qps['vectorized']:>12,.0f} q/s | {speedup:6.1f}x"
+        )
+        if (
+            args.qps_target is not None
+            and batch_size == max(args.batch_sizes)
+            and qps["vectorized"] < args.qps_target
+        ):
+            target_met = False
+            print(
+                f"vectorized backend reached {qps['vectorized']:,.0f} q/s at "
+                f"batch {batch_size}, below the target {args.qps_target:,.0f}",
+                file=sys.stderr,
+            )
+    return 0 if target_met else 1
+
+
 def run_fleet(args) -> int:
     """Run the ``fleet`` subcommand: refresh several sites per survey stamp."""
     from repro.environments import environment_by_name
@@ -423,6 +731,13 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         if fleet_command == "run":
             return run_fleet_run(args)
         return run_fleet(args)
+
+    if args.command == "query":
+        if args.query_command == "export":
+            return run_query_export(args)
+        if args.query_command == "run":
+            return run_query_run(args)
+        return run_query_bench(args)
 
     config = ExperimentConfig.full() if args.preset == "full" else ExperimentConfig.quick()
     if args.seed is not None:

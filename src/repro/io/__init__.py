@@ -1,14 +1,25 @@
-"""Serialized wire formats for the fleet update service.
+"""Serialized wire formats for the fleet update service and the query engine.
 
-``repro.io`` is how update requests and fleet reports leave (and re-enter)
-a process: a versioned NPZ+JSON payload that preserves matrices bit-exactly
-along with masks, dtypes, seeds, pipeline configs and the executed shard
-plan.  The same layout works in memory (``requests_to_bytes`` /
-``requests_from_bytes``) — that is how the distributed executor scatters
-shards to worker processes.  See :mod:`repro.io.wire` for the layout and
-guarantees, and ``docs/WIRE_FORMAT.md`` for the on-disk spec.
+``repro.io`` is how update requests, fleet reports, query workloads and
+answers leave (and re-enter) a process: versioned NPZ+JSON payloads that
+preserve matrices bit-exactly along with masks, dtypes, seeds, pipeline
+configs and the executed shard plan.  The same layout works in memory
+(``requests_to_bytes`` / ``requests_from_bytes``) — that is how the
+distributed executor scatters shards to worker processes.  The read-path
+payloads (:mod:`repro.io.query`) carry batched localization queries and the
+engine's answers behind ``query export`` / ``query run``.  See
+:mod:`repro.io.wire` for the layout and guarantees, and
+``docs/WIRE_FORMAT.md`` for the on-disk spec.
 """
 
+from repro.io.query import (
+    ANSWERS_FORMAT,
+    QUERIES_FORMAT,
+    load_answers,
+    load_queries,
+    save_answers,
+    save_queries,
+)
 from repro.io.wire import (
     REPORT_FORMAT,
     REQUESTS_FORMAT,
@@ -26,11 +37,17 @@ __all__ = [
     "WIRE_VERSION",
     "REQUESTS_FORMAT",
     "REPORT_FORMAT",
+    "QUERIES_FORMAT",
+    "ANSWERS_FORMAT",
     "save_requests",
     "load_requests",
     "requests_to_bytes",
     "requests_from_bytes",
     "save_report",
     "load_report",
+    "save_queries",
+    "load_queries",
+    "save_answers",
+    "load_answers",
     "payload_info",
 ]

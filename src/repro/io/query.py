@@ -1,0 +1,197 @@
+"""Wire payloads for query workloads and their answers.
+
+Extends the NPZ+JSON layout of :mod:`repro.io.wire` to the read path: a
+**queries payload** carries batches of online RSS measurements (plus
+optional ground truth and per-site location tables) and an **answers
+payload** carries the engine's responses (grid indices, coordinates and the
+serving bookkeeping).  ``query export`` writes query payloads, ``query run``
+consumes them against a report payload and writes answers, and any external
+producer emitting the same layout can drive the serving engine directly.
+
+The same guarantees as the fleet payloads apply: bit-exact array
+round-trips, manifest validation on load, ``allow_pickle=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.io.wire import (
+    WIRE_VERSION,
+    _get_array,
+    _read_payload,
+    _write_payload,
+)
+from repro.query.types import QueryAnswer, QueryBatch
+
+__all__ = [
+    "QUERIES_FORMAT",
+    "ANSWERS_FORMAT",
+    "save_queries",
+    "load_queries",
+    "save_answers",
+    "load_answers",
+]
+
+QUERIES_FORMAT = "repro-query-batch"
+"""Format tag of a query-workload payload."""
+
+ANSWERS_FORMAT = "repro-query-answers"
+"""Format tag of an answers payload."""
+
+
+def _batch_key(index: int) -> str:
+    return f"batch{index:04d}"
+
+
+# -------------------------------------------------------------------- queries
+def save_queries(path, batches: Sequence[QueryBatch]) -> None:
+    """Serialize a query workload (one batch per site visit) to one NPZ.
+
+    Measurements, ground-truth indices and location tables ride NPZ
+    bit-exactly; the manifest records per-batch metadata so a corrupt or
+    truncated payload fails validation on load.
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("cannot serialize an empty query workload")
+    arrays: Dict[str, np.ndarray] = {}
+    entries: List[dict] = []
+    for index, batch in enumerate(batches):
+        if not isinstance(batch, QueryBatch):
+            raise TypeError("batches must be QueryBatch instances")
+        key = _batch_key(index)
+        arrays[f"{key}__measurements"] = batch.measurements
+        entry = {
+            "site": batch.site,
+            "count": int(batch.count),
+            "has_truth": batch.true_indices is not None,
+            "has_locations": batch.locations is not None,
+        }
+        if batch.true_indices is not None:
+            arrays[f"{key}__true_indices"] = batch.true_indices.astype(np.int64)
+        if batch.locations is not None:
+            arrays[f"{key}__locations"] = batch.locations
+        entries.append(entry)
+    manifest = {
+        "format": QUERIES_FORMAT,
+        "version": WIRE_VERSION,
+        "count": len(batches),
+        "batches": entries,
+    }
+    _write_payload(path, manifest, arrays)
+
+
+def load_queries(path) -> List[QueryBatch]:
+    """Load a queries payload back into validated :class:`QueryBatch` objects."""
+    manifest, payload = _read_payload(path, QUERIES_FORMAT)
+    entries = manifest.get("batches")
+    if not isinstance(entries, list) or manifest.get("count") != len(entries):
+        raise ValueError(f"corrupt manifest in {path!r}: batch list/count mismatch")
+    batches: List[QueryBatch] = []
+    for index, entry in enumerate(entries):
+        key = _batch_key(index)
+        try:
+            batch = QueryBatch(
+                site=str(entry["site"]),
+                measurements=_get_array(payload, f"{key}__measurements", path),
+                true_indices=_get_array(payload, f"{key}__true_indices", path)
+                if entry.get("has_truth")
+                else None,
+                locations=_get_array(payload, f"{key}__locations", path)
+                if entry.get("has_locations")
+                else None,
+            )
+            if batch.count != int(entry["count"]):
+                raise ValueError(
+                    f"batch carries {batch.count} queries, manifest records "
+                    f"{entry['count']}"
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"corrupt query batch {index} in {path!r}: {exc}"
+            ) from exc
+        batches.append(batch)
+    return batches
+
+
+# -------------------------------------------------------------------- answers
+def save_answers(path, answers: Sequence[QueryAnswer]) -> None:
+    """Serialize the engine's answers (one per query batch) to one NPZ."""
+    answers = list(answers)
+    if not answers:
+        raise ValueError("cannot serialize an empty answer set")
+    arrays: Dict[str, np.ndarray] = {}
+    entries: List[dict] = []
+    for index, answer in enumerate(answers):
+        if not isinstance(answer, QueryAnswer):
+            raise TypeError("answers must be QueryAnswer instances")
+        key = _batch_key(index)
+        arrays[f"{key}__indices"] = np.asarray(answer.indices, dtype=np.int64)
+        entry = {
+            "site": answer.site,
+            "matcher": answer.matcher,
+            "backend": answer.backend,
+            "generation": int(answer.generation),
+            "count": int(answer.count),
+            "cache_hits": int(answer.cache_hits),
+            "has_points": answer.points is not None,
+        }
+        if answer.points is not None:
+            arrays[f"{key}__points"] = answer.points
+        entries.append(entry)
+    manifest = {
+        "format": ANSWERS_FORMAT,
+        "version": WIRE_VERSION,
+        "count": len(answers),
+        "answers": entries,
+    }
+    _write_payload(path, manifest, arrays)
+
+
+def load_answers(path) -> List[QueryAnswer]:
+    """Load an answers payload back into :class:`QueryAnswer` objects."""
+    manifest, payload = _read_payload(path, ANSWERS_FORMAT)
+    entries = manifest.get("answers")
+    if not isinstance(entries, list) or manifest.get("count") != len(entries):
+        raise ValueError(f"corrupt manifest in {path!r}: answer list/count mismatch")
+    answers: List[QueryAnswer] = []
+    for index, entry in enumerate(entries):
+        key = _batch_key(index)
+        try:
+            indices = np.asarray(
+                _get_array(payload, f"{key}__indices", path), dtype=int
+            )
+            points: Optional[np.ndarray] = None
+            if entry.get("has_points"):
+                points = np.asarray(
+                    _get_array(payload, f"{key}__points", path), dtype=float
+                )
+                if points.shape != (indices.size, 2):
+                    raise ValueError(
+                        f"points shape {points.shape} does not match "
+                        f"{indices.size} indices"
+                    )
+            if indices.size != int(entry["count"]):
+                raise ValueError(
+                    f"answer carries {indices.size} indices, manifest records "
+                    f"{entry['count']}"
+                )
+            answers.append(
+                QueryAnswer(
+                    site=str(entry["site"]),
+                    matcher=str(entry["matcher"]),
+                    backend=str(entry["backend"]),
+                    generation=int(entry["generation"]),
+                    indices=indices,
+                    points=points,
+                    cache_hits=int(entry.get("cache_hits") or 0),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"corrupt answer {index} in {path!r}: {exc}"
+            ) from exc
+    return answers

@@ -46,19 +46,38 @@ class LocalizationReport:
 def localization_errors(
     true_points: np.ndarray, estimated_points: np.ndarray
 ) -> np.ndarray:
-    """Euclidean errors (metres) between matched rows of two point arrays."""
-    true_points = np.atleast_2d(np.asarray(true_points, dtype=float))
-    estimated_points = np.atleast_2d(np.asarray(estimated_points, dtype=float))
+    """Euclidean errors (metres) between matched rows of two point arrays.
+
+    Empty inputs yield an empty error array; non-finite coordinates are
+    rejected (a NaN silently propagating into a CDF would corrupt every
+    percentile downstream).
+    """
+    true_points = np.asarray(true_points, dtype=float)
+    estimated_points = np.asarray(estimated_points, dtype=float)
+    if true_points.size == 0 and estimated_points.size == 0:
+        return np.zeros(0, dtype=float)
+    true_points = np.atleast_2d(true_points)
+    estimated_points = np.atleast_2d(estimated_points)
     if true_points.shape != estimated_points.shape:
         raise ValueError("true and estimated point arrays must share a shape")
+    if not np.all(np.isfinite(true_points)):
+        raise ValueError("true_points contains NaN or infinite coordinates")
+    if not np.all(np.isfinite(estimated_points)):
+        raise ValueError("estimated_points contains NaN or infinite coordinates")
     return np.linalg.norm(true_points - estimated_points, axis=1)
 
 
 def summarize_errors(errors_m: Sequence[float]) -> LocalizationReport:
-    """Build a :class:`LocalizationReport` from raw error samples."""
+    """Build a :class:`LocalizationReport` from raw error samples.
+
+    A single sample is a valid (degenerate) distribution; empty or
+    non-finite inputs are rejected.
+    """
     errors = np.asarray(list(errors_m), dtype=float).ravel()
     if errors.size == 0:
         raise ValueError("errors_m must be non-empty")
+    if not np.all(np.isfinite(errors)):
+        raise ValueError("errors_m contains NaN or infinite entries")
     cdf = empirical_cdf(errors)
     return LocalizationReport(
         errors_m=errors,

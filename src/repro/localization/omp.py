@@ -143,14 +143,20 @@ class OMPLocalizer:
         self.config = config or OMPConfig()
         self._column_means = self.dictionary.mean(axis=0)
         self._grand_mean = float(self.dictionary.mean())
+        # Hoisted: the centered dictionary is query-independent, so it is
+        # built once here instead of on every localization call.
+        if self.config.center_columns:
+            self._centered = self.dictionary - self.dictionary.mean(
+                axis=0, keepdims=True
+            )
+        else:
+            self._centered = self.dictionary
 
     def _prepare(self, measurement: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        dictionary = self.dictionary
         vector = measurement.astype(float)
         if self.config.center_columns:
-            dictionary = dictionary - dictionary.mean(axis=0, keepdims=True)
             vector = vector - float(vector.mean())
-        return dictionary, vector
+        return self._centered, vector
 
     def localize_index(self, measurement: np.ndarray) -> int:
         """Return the grid index of the best-matching fingerprint column."""

@@ -1,0 +1,56 @@
+"""The localization serving engine: the read path of the reproduction.
+
+Where :mod:`repro.service` scales the *write* side (refreshing fleets of
+fingerprint databases), this package scales the *read* side — millions of
+users localizing against those refreshed databases:
+
+* :class:`~repro.query.index.QueryIndex` — an immutable per-site index
+  (precomputed centred dictionary, column norms, location table) built from
+  a refreshed :class:`~repro.service.types.FleetReport`, in memory or
+  loaded from the :mod:`repro.io` wire format.
+* :mod:`repro.query.matchers` — every :mod:`repro.localization` matcher
+  (kNN / OMP / SVR / RASS) in a fully **vectorized** batched backend (one
+  distance-matrix GEMM per kNN batch, batched OMP correlation projections,
+  batched SVR kernels) plus the per-query ``"looped"`` reference backend it
+  is pinned against (≤ 1e-10).
+* :class:`~repro.query.engine.QueryEngine` — ``localize_batch(site,
+  measurements)`` over a :class:`~repro.query.engine.GenerationStore` that
+  **hot-swaps database generations atomically** (in-flight batches finish
+  on their snapshot), with an optional LRU
+  :class:`~repro.query.cache.ResultCache` keyed on quantized RSS vectors.
+* :class:`~repro.query.types.QueryBatch` /
+  :class:`~repro.query.types.QueryAnswer` — the wire-portable value types
+  behind the CLI ``query export`` / ``query run`` / ``query bench``
+  workflow.
+"""
+
+from repro.query.cache import CacheStats, ResultCache
+from repro.query.engine import (
+    BoundSite,
+    Generation,
+    GenerationStore,
+    QueryConfig,
+    QueryEngine,
+)
+from repro.query.index import QueryIndex, grid_locations, indexes_from_report
+from repro.query.matchers import BACKENDS, MATCHERS, BoundMatcher, bind_matcher
+from repro.query.types import QueryAnswer, QueryBatch
+
+__all__ = [
+    "QueryEngine",
+    "QueryConfig",
+    "QueryIndex",
+    "QueryBatch",
+    "QueryAnswer",
+    "Generation",
+    "GenerationStore",
+    "BoundSite",
+    "BoundMatcher",
+    "bind_matcher",
+    "indexes_from_report",
+    "grid_locations",
+    "ResultCache",
+    "CacheStats",
+    "MATCHERS",
+    "BACKENDS",
+]

@@ -1,0 +1,212 @@
+"""Immutable per-site query indexes over refreshed fingerprint databases.
+
+A :class:`QueryIndex` is the read-side artifact one refreshed site turns
+into: the fingerprint dictionary plus everything the batched matchers need
+precomputed — the mean-centred dictionary, its column norms, and the grid
+location table.  All arrays are copied and frozen (``writeable=False``), so
+an index can be shared across serving threads and swapped atomically by the
+:class:`~repro.query.engine.GenerationStore` without defensive copies.
+
+:func:`indexes_from_report` bridges the write path to the read path: it
+turns a refreshed :class:`~repro.service.types.FleetReport` (in-memory or
+loaded from the :mod:`repro.io` wire format) into one index per site.
+Reports do not carry deployment geometry, so callers either supply location
+tables or fall back to :func:`grid_locations`, the paper's Fig. 3 stripe
+convention laid out on a regular grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.fingerprint.matrix import FingerprintMatrix
+from repro.service.types import FleetReport
+from repro.utils.validation import check_2d
+
+__all__ = ["QueryIndex", "grid_locations", "indexes_from_report"]
+
+DEFAULT_GRID_SPACING_M = 0.6
+"""Fallback grid spacing (metres) — the paper's 0.6 m inter-grid distance."""
+
+
+def grid_locations(
+    link_count: int,
+    locations_per_link: int,
+    spacing_m: float = DEFAULT_GRID_SPACING_M,
+) -> np.ndarray:
+    """Deterministic ``(N, 2)`` location table for a striped deployment.
+
+    Column ``j`` belongs to link ``j // locations_per_link`` at stripe
+    offset ``j % locations_per_link`` (the paper's Fig. 3 convention); the
+    fallback lays links out as parallel rows ``spacing_m`` apart.  Used when
+    a wire-loaded report carries no deployment geometry: distances between
+    these synthetic coordinates are consistent within a site, which is all
+    relative accuracy metrics need.
+    """
+    if link_count <= 0 or locations_per_link <= 0:
+        raise ValueError("link_count and locations_per_link must be positive")
+    if spacing_m <= 0:
+        raise ValueError("spacing_m must be positive")
+    links = np.repeat(np.arange(link_count, dtype=float), locations_per_link)
+    offsets = np.tile(np.arange(locations_per_link, dtype=float), link_count)
+    return np.column_stack([offsets * spacing_m, links * spacing_m])
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    copy = np.array(array, dtype=float, copy=True)
+    copy.setflags(write=False)
+    return copy
+
+
+@dataclass(frozen=True)
+class QueryIndex:
+    """One site's immutable, precomputed localization dictionary.
+
+    Attributes
+    ----------
+    site:
+        Site identifier.
+    values:
+        ``(M, N)`` fingerprint dictionary (read-only).
+    locations_per_link:
+        Stripe width ``N / M`` of the dictionary.
+    locations:
+        ``(N, 2)`` grid coordinates (read-only), or ``None`` when the
+        producer knows no geometry — answers then carry indices only.
+    centered:
+        The dictionary with per-column means removed (read-only): the
+        matching dictionary of the offset-robust KNN and OMP matchers.
+    column_means:
+        ``(N,)`` per-column means removed from :attr:`centered`.
+    column_norms:
+        ``(N,)`` Euclidean norms of the centred columns with zeros replaced
+        by 1 — the OMP correlation normalizer.
+    """
+
+    site: str
+    values: np.ndarray
+    locations_per_link: int
+    locations: Optional[np.ndarray]
+    centered: np.ndarray
+    column_means: np.ndarray
+    column_norms: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        site: str,
+        fingerprint: "FingerprintMatrix | np.ndarray",
+        locations: Optional[np.ndarray] = None,
+        locations_per_link: Optional[int] = None,
+    ) -> "QueryIndex":
+        """Precompute an index from a fingerprint matrix.
+
+        Parameters
+        ----------
+        site:
+            Site identifier recorded on the index.
+        fingerprint:
+            The (refreshed) fingerprint matrix serving as dictionary.
+        locations:
+            Optional ``(N, 2)`` grid coordinates.
+        locations_per_link:
+            Stripe width; required only when ``fingerprint`` is a raw
+            array (a :class:`FingerprintMatrix` knows its own).
+        """
+        if not site:
+            raise ValueError("site must be a non-empty identifier")
+        if isinstance(fingerprint, FingerprintMatrix):
+            values = fingerprint.values
+            width = fingerprint.locations_per_link
+        else:
+            values = check_2d(fingerprint, "fingerprint")
+            if locations_per_link is None:
+                raise ValueError(
+                    "locations_per_link is required when building from a raw array"
+                )
+            width = int(locations_per_link)
+        values = _frozen(values)
+        if locations is not None:
+            locations = check_2d(locations, "locations")
+            if locations.shape != (values.shape[1], 2):
+                raise ValueError(
+                    f"locations must be ({values.shape[1]}, 2), "
+                    f"got {locations.shape}"
+                )
+            locations = _frozen(locations)
+        column_means = values.mean(axis=0)
+        centered = _frozen(values - column_means[None, :])
+        norms = np.linalg.norm(centered, axis=0)
+        norms[norms == 0] = 1.0
+        norms.setflags(write=False)
+        column_means.setflags(write=False)
+        return cls(
+            site=site,
+            values=values,
+            locations_per_link=width,
+            locations=locations,
+            centered=centered,
+            column_means=column_means,
+            column_norms=norms,
+        )
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def link_count(self) -> int:
+        """Number of links ``M`` (dictionary rows)."""
+        return int(self.values.shape[0])
+
+    @property
+    def location_count(self) -> int:
+        """Number of grid locations ``N`` (dictionary columns)."""
+        return int(self.values.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the index's arrays (dictionary + precomputations)."""
+        total = self.values.nbytes + self.centered.nbytes
+        total += self.column_means.nbytes + self.column_norms.nbytes
+        if self.locations is not None:
+            total += self.locations.nbytes
+        return int(total)
+
+
+def indexes_from_report(
+    report: FleetReport,
+    locations: Optional[Mapping[str, np.ndarray]] = None,
+    grid_fallback: bool = True,
+    spacing_m: float = DEFAULT_GRID_SPACING_M,
+) -> Dict[str, QueryIndex]:
+    """Build one :class:`QueryIndex` per site of a refreshed fleet report.
+
+    Parameters
+    ----------
+    report:
+        The refreshed fleet (``UpdateService`` output or
+        :func:`repro.io.load_report`).
+    locations:
+        Optional per-site ``(N, 2)`` coordinate tables from a producer that
+        knows the deployment geometry.
+    grid_fallback:
+        When True (default), sites without a supplied table get the
+        deterministic :func:`grid_locations` layout; when False they get
+        ``None`` and their answers carry grid indices only.
+    spacing_m:
+        Grid spacing of the fallback layout.
+    """
+    locations = dict(locations or {})
+    indexes: Dict[str, QueryIndex] = {}
+    for site_report in report.reports:
+        matrix = site_report.matrix
+        table = locations.get(site_report.site)
+        if table is None and grid_fallback:
+            table = grid_locations(
+                matrix.link_count, matrix.locations_per_link, spacing_m
+            )
+        indexes[site_report.site] = QueryIndex.build(
+            site_report.site, matrix, locations=table
+        )
+    return indexes

@@ -246,6 +246,300 @@ class TestFleetWireCommands:
             )
 
 
+class TestQueryParser:
+    def test_export_defaults(self):
+        args = build_parser().parse_args(
+            ["query", "export", "--report", "r.npz", "--out", "q.npz"]
+        )
+        assert args.command == "query"
+        assert args.query_command == "export"
+        assert args.per_site == 16
+        assert args.noise_db == pytest.approx(0.5)
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(
+            ["query", "run", "--report", "r.npz", "--queries", "q.npz"]
+        )
+        assert args.query_command == "run"
+        assert args.matcher == "knn"
+        assert args.backend == "vectorized"
+        assert args.cache == 0
+        assert args.out is None
+
+    def test_run_rejects_unknown_matcher(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "query",
+                    "run",
+                    "--report",
+                    "r.npz",
+                    "--queries",
+                    "q.npz",
+                    "--matcher",
+                    "nearest",
+                ]
+            )
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["query", "bench"])
+        assert args.query_command == "bench"
+        assert args.batch_sizes == [1, 64, 1024]
+        assert args.repeats == 3
+        assert args.qps_target is None
+
+    def test_bench_parses_batch_sizes(self):
+        args = build_parser().parse_args(
+            ["query", "bench", "--batch-sizes", "2,8", "--qps-target", "1e4"]
+        )
+        assert args.batch_sizes == [2, 8]
+        assert args.qps_target == pytest.approx(1e4)
+
+    def test_query_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+
+class TestQueryCommands:
+    @pytest.fixture()
+    def report_path(self, tmp_path):
+        requests_path = str(tmp_path / "requests.npz")
+        path = str(tmp_path / "report.npz")
+        assert (
+            main(
+                [
+                    "fleet",
+                    "export",
+                    "--sites",
+                    "2",
+                    "--link-count",
+                    "4",
+                    "--locations-per-link",
+                    "4",
+                    "--out",
+                    requests_path,
+                ]
+            )
+            == 0
+        )
+        assert main(["fleet", "run", "--in", requests_path, "--out", path]) == 0
+        return path
+
+    def test_export_run_round_trip_matches_in_process(
+        self, report_path, tmp_path, capsys
+    ):
+        """CLI query export → run must match an in-process QueryEngine."""
+        from repro.io import load_answers, load_queries, load_report
+        from repro.query import QueryConfig, QueryEngine
+
+        queries_path = str(tmp_path / "queries.npz")
+        answers_path = str(tmp_path / "answers.npz")
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "export",
+                    "--report",
+                    report_path,
+                    "--out",
+                    queries_path,
+                    "--per-site",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert "wrote 16 queries over 2 sites" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "query",
+                    "run",
+                    "--report",
+                    report_path,
+                    "--queries",
+                    queries_path,
+                    "--out",
+                    answers_path,
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "serving generation 0" in output
+        assert "accuracy vs ground truth" in output
+
+        engine = QueryEngine(QueryConfig())
+        batches = load_queries(queries_path)
+        engine.publish_report(
+            load_report(report_path),
+            locations={b.site: b.locations for b in batches},
+        )
+        for batch, answer in zip(batches, load_answers(answers_path)):
+            expected = engine.answer(batch)
+            assert answer.site == expected.site == batch.site
+            np.testing.assert_array_equal(answer.indices, expected.indices)
+            np.testing.assert_allclose(answer.points, expected.points)
+
+    def test_run_looped_backend_matches_vectorized(
+        self, report_path, tmp_path, capsys
+    ):
+        from repro.io import load_answers
+
+        queries_path = str(tmp_path / "queries.npz")
+        assert (
+            main(
+                [
+                    "query",
+                    "export",
+                    "--report",
+                    report_path,
+                    "--out",
+                    queries_path,
+                    "--per-site",
+                    "6",
+                ]
+            )
+            == 0
+        )
+        paths = {}
+        for backend in ("vectorized", "looped"):
+            paths[backend] = str(tmp_path / f"{backend}.npz")
+            assert (
+                main(
+                    [
+                        "query",
+                        "run",
+                        "--report",
+                        report_path,
+                        "--queries",
+                        queries_path,
+                        "--backend",
+                        backend,
+                        "--out",
+                        paths[backend],
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        for fast, slow in zip(
+            load_answers(paths["vectorized"]), load_answers(paths["looped"])
+        ):
+            np.testing.assert_array_equal(fast.indices, slow.indices)
+            np.testing.assert_allclose(fast.points, slow.points, atol=1e-10)
+
+    def test_run_with_cache_reports_hits(self, report_path, tmp_path, capsys):
+        queries_path = str(tmp_path / "queries.npz")
+        assert (
+            main(
+                [
+                    "query",
+                    "export",
+                    "--report",
+                    report_path,
+                    "--out",
+                    queries_path,
+                    "--per-site",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "run",
+                    "--report",
+                    report_path,
+                    "--queries",
+                    queries_path,
+                    "--cache",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        assert "cache:" in capsys.readouterr().out
+
+    def test_bench_smoke(self, report_path, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "bench",
+                    "--report",
+                    report_path,
+                    "--batch-sizes",
+                    "1,16",
+                    "--repeats",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "batch     1" in output
+        assert "vectorized" in output
+
+    def test_bench_unreachable_target_fails(self, report_path, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "bench",
+                    "--report",
+                    report_path,
+                    "--batch-sizes",
+                    "4",
+                    "--repeats",
+                    "1",
+                    "--qps-target",
+                    "1e15",
+                ]
+            )
+            == 1
+        )
+        assert "below the target" in capsys.readouterr().err
+
+    def test_export_rejects_missing_report(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "export",
+                    "--report",
+                    str(tmp_path / "nope.npz"),
+                    "--out",
+                    str(tmp_path / "q.npz"),
+                ]
+            )
+            == 2
+        )
+        assert "cannot read wire payload" in capsys.readouterr().err
+
+    def test_export_rejects_bad_per_site(self, report_path, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "export",
+                    "--report",
+                    report_path,
+                    "--out",
+                    str(tmp_path / "q.npz"),
+                    "--per-site",
+                    "0",
+                ]
+            )
+            == 2
+        )
+        assert "--per-site" in capsys.readouterr().err
+
+
 class TestParallelRun:
     def test_jobs_flag_parses(self):
         args = build_parser().parse_args(["run", "labor_cost_savings", "--jobs", "2"])

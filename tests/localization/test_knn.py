@@ -44,6 +44,49 @@ class TestKNNLocalizer:
         localizer = KNNLocalizer(striped_fingerprint, config=KNNConfig(center_columns=True))
         assert localizer.localize_index(striped_fingerprint.column(20) + 5.0) == 20
 
+    def test_batch_matches_per_query_loop(self, striped_fingerprint, rng):
+        localizer = KNNLocalizer(striped_fingerprint)
+        queries = striped_fingerprint.values.T + rng.normal(
+            0.0, 0.3, size=striped_fingerprint.values.T.shape
+        )
+        batch = localizer.localize_batch(queries)
+        looped = [localizer.localize_index(row) for row in queries]
+        np.testing.assert_array_equal(batch, looped)
+
+    def test_batch_matches_loop_uncentered(self, striped_fingerprint, rng):
+        localizer = KNNLocalizer(
+            striped_fingerprint, config=KNNConfig(center_columns=False)
+        )
+        queries = striped_fingerprint.values.T[:10] + rng.normal(0.0, 0.3, size=(10, 4))
+        np.testing.assert_array_equal(
+            localizer.localize_batch(queries),
+            [localizer.localize_index(row) for row in queries],
+        )
+
+    def test_points_batch_matches_per_query_loop(self, striped_fingerprint, rng):
+        locations = np.column_stack([np.arange(24, dtype=float), np.zeros(24)])
+        localizer = KNNLocalizer(
+            striped_fingerprint, locations, KNNConfig(neighbours=3, weighted=True)
+        )
+        queries = striped_fingerprint.values.T[:10] + rng.normal(0.0, 0.3, size=(10, 4))
+        batch = localizer.localize_points_batch(queries)
+        looped = np.vstack([localizer.localize_point(row) for row in queries])
+        np.testing.assert_allclose(batch, looped, atol=1e-10)
+
+    def test_points_batch_unweighted_single_neighbour(self, striped_fingerprint):
+        locations = np.column_stack([np.arange(24, dtype=float), np.zeros(24)])
+        localizer = KNNLocalizer(
+            striped_fingerprint, locations, KNNConfig(neighbours=1, weighted=False)
+        )
+        points = localizer.localize_points_batch(striped_fingerprint.values.T[:6])
+        np.testing.assert_allclose(points, locations[:6])
+
+    def test_points_batch_requires_locations(self, striped_fingerprint):
+        with pytest.raises(ValueError):
+            KNNLocalizer(striped_fingerprint).localize_points_batch(
+                striped_fingerprint.values.T[:2]
+            )
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             KNNConfig(neighbours=0)

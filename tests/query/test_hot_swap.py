@@ -1,0 +1,113 @@
+"""Generation hot-swap atomicity under concurrent batched queries.
+
+A writer thread keeps swapping between two generations whose dictionaries
+give *different known answers* for the same queries.  Reader threads fire
+batches the whole time and must only ever observe answers that are entirely
+consistent with a single published generation — never a mix, never a
+half-swapped state.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.localization.knn import KNNConfig
+from repro.query import QueryConfig, QueryEngine, QueryIndex, grid_locations
+
+
+@pytest.fixture()
+def swap_setup(striped_fingerprint):
+    """Two generations with opposite answers for the same query batch."""
+    matrix = striped_fingerprint
+    n = matrix.location_count
+    locations = grid_locations(matrix.link_count, matrix.locations_per_link)
+    forward = QueryIndex.build("site", matrix, locations=locations)
+    # The reversed dictionary maps query column j to index n-1-j.
+    reversed_index = QueryIndex.build(
+        "site",
+        matrix.values[:, ::-1].copy(),
+        locations=locations,
+        locations_per_link=matrix.locations_per_link,
+    )
+    queries = matrix.values.T[:8]
+    expected = {0: np.arange(8) % n, 1: (n - 1) - np.arange(8) % n}
+    return forward, reversed_index, queries, expected
+
+
+class TestHotSwapAtomicity:
+    def test_concurrent_readers_never_see_half_swapped_generation(self, swap_setup):
+        forward, reversed_index, queries, _ = swap_setup
+        engine = QueryEngine(
+            QueryConfig(knn=KNNConfig(neighbours=1, weighted=False))
+        )
+        engine.publish_indexes({"site": forward})
+
+        generations = {0: forward, 1: reversed_index}
+        swaps = 60
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            for swap in range(1, swaps + 1):
+                engine.publish_indexes({"site": generations[swap % 2]})
+            stop.set()
+
+        def reader():
+            n = queries.shape[0]
+            while not stop.is_set():
+                answer = engine.localize_batch("site", queries)
+                parity = answer.generation % 2
+                expected = (
+                    np.arange(n)
+                    if parity == 0
+                    else (forward.location_count - 1) - np.arange(n)
+                )
+                if not np.array_equal(answer.indices, expected):
+                    errors.append(
+                        f"generation {answer.generation} answered "
+                        f"{answer.indices.tolist()}, expected {expected.tolist()}"
+                    )
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        writer_thread.join(timeout=60)
+        for thread in readers:
+            thread.join(timeout=60)
+        assert not errors, errors[0]
+        assert engine.store.generation_count == swaps + 1
+
+    def test_batch_is_answered_from_one_snapshot(self, swap_setup):
+        """The generation recorded on the answer matches the indices even if
+        a swap lands mid-batch: every row must come from that snapshot."""
+        forward, reversed_index, queries, _ = swap_setup
+        engine = QueryEngine(
+            QueryConfig(knn=KNNConfig(neighbours=1, weighted=False))
+        )
+        engine.publish_indexes({"site": forward})
+        n = queries.shape[0]
+
+        done = threading.Event()
+
+        def swapper():
+            while not done.is_set():
+                engine.publish_indexes({"site": reversed_index})
+                engine.publish_indexes({"site": forward})
+
+        thread = threading.Thread(target=swapper)
+        thread.start()
+        try:
+            for _ in range(200):
+                answer = engine.localize_batch("site", queries)
+                if answer.generation % 2 == 0:
+                    expected = np.arange(n)
+                else:
+                    expected = (forward.location_count - 1) - np.arange(n)
+                np.testing.assert_array_equal(answer.indices, expected)
+        finally:
+            done.set()
+            thread.join(timeout=60)

@@ -1,0 +1,128 @@
+"""Unit tests for :mod:`repro.query.index`."""
+
+import numpy as np
+import pytest
+
+from repro.query import QueryIndex, grid_locations, indexes_from_report
+from repro.query.index import DEFAULT_GRID_SPACING_M
+
+
+class TestGridLocations:
+    def test_shape_and_stripe_convention(self):
+        table = grid_locations(3, 4, spacing_m=1.0)
+        assert table.shape == (12, 2)
+        # Column j belongs to link j // width at offset j % width.
+        np.testing.assert_allclose(table[5], [1.0, 1.0])  # link 1, offset 1
+        np.testing.assert_allclose(table[11], [3.0, 2.0])  # link 2, offset 3
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(grid_locations(4, 6), grid_locations(4, 6))
+
+    def test_spacing_scales_coordinates(self):
+        np.testing.assert_allclose(
+            grid_locations(2, 3, spacing_m=2.0), 2.0 * grid_locations(2, 3, spacing_m=1.0)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"link_count": 0, "locations_per_link": 4},
+            {"link_count": 4, "locations_per_link": 0},
+            {"link_count": 4, "locations_per_link": 4, "spacing_m": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            grid_locations(**kwargs)
+
+
+class TestQueryIndexBuild:
+    def test_precomputations_match_definitions(self, query_index, striped_fingerprint):
+        np.testing.assert_array_equal(query_index.values, striped_fingerprint.values)
+        expected_means = striped_fingerprint.values.mean(axis=0)
+        np.testing.assert_allclose(query_index.column_means, expected_means)
+        np.testing.assert_allclose(
+            query_index.centered, striped_fingerprint.values - expected_means
+        )
+        np.testing.assert_allclose(
+            query_index.column_norms, np.linalg.norm(query_index.centered, axis=0)
+        )
+
+    def test_shape_properties(self, query_index, striped_fingerprint):
+        assert query_index.link_count == striped_fingerprint.link_count
+        assert query_index.location_count == striped_fingerprint.location_count
+        assert query_index.locations_per_link == striped_fingerprint.locations_per_link
+        assert query_index.nbytes > 0
+
+    def test_all_arrays_frozen(self, query_index):
+        for array in (
+            query_index.values,
+            query_index.centered,
+            query_index.column_means,
+            query_index.column_norms,
+            query_index.locations,
+        ):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[..., 0] = 0.0
+
+    def test_source_mutation_does_not_leak_in(self, striped_fingerprint):
+        values = striped_fingerprint.values.copy()
+        index = QueryIndex.build("site", values, locations_per_link=6)
+        values[0, 0] = 999.0
+        assert index.values[0, 0] != 999.0
+
+    def test_raw_array_requires_width(self, striped_fingerprint):
+        with pytest.raises(ValueError, match="locations_per_link"):
+            QueryIndex.build("site", striped_fingerprint.values)
+
+    def test_empty_site_rejected(self, striped_fingerprint):
+        with pytest.raises(ValueError, match="site"):
+            QueryIndex.build("", striped_fingerprint)
+
+    def test_locations_shape_checked(self, striped_fingerprint):
+        with pytest.raises(ValueError, match="locations"):
+            QueryIndex.build(
+                "site", striped_fingerprint, locations=np.zeros((3, 2))
+            )
+
+    def test_zero_norm_columns_get_unit_normalizer(self):
+        values = np.zeros((4, 3))
+        values[:, 1] = [1.0, -1.0, 2.0, -2.0]
+        index = QueryIndex.build("site", values, locations_per_link=3)
+        assert index.column_norms[0] == 1.0
+        assert index.column_norms[2] == 1.0
+        assert index.column_norms[1] > 1.0
+
+
+class TestIndexesFromReport:
+    def test_one_index_per_site_with_grid_fallback(self, refreshed_fleet):
+        indexes = indexes_from_report(refreshed_fleet)
+        assert set(indexes) == set(refreshed_fleet.sites)
+        for site, index in indexes.items():
+            report = refreshed_fleet.report_for(site)
+            np.testing.assert_array_equal(index.values, report.matrix.values)
+            assert index.locations is not None
+            assert index.locations.shape == (report.matrix.location_count, 2)
+
+    def test_grid_fallback_uses_spacing(self, refreshed_fleet):
+        indexes = indexes_from_report(refreshed_fleet, spacing_m=1.5)
+        site = refreshed_fleet.sites[0]
+        matrix = refreshed_fleet.report_for(site).matrix
+        np.testing.assert_allclose(
+            indexes[site].locations,
+            grid_locations(matrix.link_count, matrix.locations_per_link, 1.5),
+        )
+
+    def test_no_fallback_leaves_locations_empty(self, refreshed_fleet):
+        indexes = indexes_from_report(refreshed_fleet, grid_fallback=False)
+        assert all(index.locations is None for index in indexes.values())
+
+    def test_supplied_tables_win_over_fallback(self, refreshed_fleet, rng):
+        site = refreshed_fleet.sites[0]
+        matrix = refreshed_fleet.report_for(site).matrix
+        table = rng.normal(size=(matrix.location_count, 2))
+        indexes = indexes_from_report(refreshed_fleet, locations={site: table})
+        np.testing.assert_array_equal(indexes[site].locations, table)
+        other = refreshed_fleet.sites[1]
+        assert indexes[other].locations is not None  # fallback for the rest

@@ -86,3 +86,45 @@ class TestCliDocsSync:
 
         help_text = build_parser().format_help()
         assert "fleet" in help_text
+
+    def test_query_subcommand_documented(self):
+        """The read-path CLI and its serving flags must be in the API docs."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for flag in ("query export", "query run", "query bench"):
+            assert flag in api, f"docs/API.md does not document `{flag}`"
+        for flag in ("--matcher", "--backend", "--qps-target", "--batch-sizes"):
+            assert flag in api, f"docs/API.md does not document `{flag}`"
+        from repro.experiments.cli import build_parser
+
+        assert "query" in build_parser().format_help()
+
+
+class TestQueryDocsSync:
+    def test_matchers_and_backends_documented(self):
+        """Every matcher/backend the engine accepts must appear in API.md."""
+        from repro.query import BACKENDS, MATCHERS
+
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for name in (*MATCHERS, *BACKENDS):
+            assert f'"{name}"' in api, (
+                f"docs/API.md does not document the {name!r} matcher/backend"
+            )
+
+    def test_read_path_layers_in_architecture(self):
+        """ARCHITECTURE.md must describe the report → index → engine → cache
+        read path with its actual class names."""
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for name in (
+            "QueryIndex",
+            "QueryEngine",
+            "GenerationStore",
+            "ResultCache",
+            "indexes_from_report",
+        ):
+            assert name in text, f"docs/ARCHITECTURE.md is missing {name}"
+
+    def test_readme_serves_queries(self):
+        """README must keep the serve-queries quickstart."""
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "query run" in text
+        assert "QueryEngine" in text
