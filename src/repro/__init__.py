@@ -27,6 +27,13 @@ The package is organised around the paper's pipeline:
   queries against immutable per-site
   :class:`~repro.query.index.QueryIndex` snapshots of refreshed fleet
   databases, with atomic generation hot-swap and an LRU result cache.
+* :mod:`repro.daemon` runs both halves as one always-on system: a
+  long-running :class:`~repro.daemon.coordinator.Coordinator` with a
+  persistent job queue (priorities, retry with backoff, crash recovery)
+  executes fleet refreshes over a shared process pool and auto-publishes
+  every completed report into its embedded query engine; the
+  submit / status / result / cancel / localize API is served over HTTP
+  (``daemon start`` CLI, :class:`~repro.daemon.client.DaemonClient`).
 * :mod:`repro.simulation` drives multi-timestamp survey campaigns and the
   labor-cost model.
 * :mod:`repro.experiments` regenerates every figure of the paper's
@@ -35,6 +42,14 @@ The package is organised around the paper's pipeline:
 """
 
 from repro.core.updater import IUpdater, UpdaterConfig, UpdateResult
+from repro.daemon import (
+    Coordinator,
+    DaemonClient,
+    DaemonConfig,
+    DaemonServer,
+    JobQueue,
+    JobRecord,
+)
 from repro.environments import (
     build_deployment,
     environment_by_name,
@@ -69,6 +84,7 @@ from repro.service import (
     FleetCampaign,
     FleetConfig,
     FleetReport,
+    PooledProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ShardConfig,
@@ -81,7 +97,7 @@ from repro.service import (
 )
 from repro.simulation.campaign import SurveyCampaign, CampaignConfig
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "UpdateRequest",
@@ -95,6 +111,13 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ProcessExecutor",
+    "PooledProcessExecutor",
+    "Coordinator",
+    "DaemonConfig",
+    "DaemonServer",
+    "DaemonClient",
+    "JobQueue",
+    "JobRecord",
     "save_requests",
     "load_requests",
     "save_report",

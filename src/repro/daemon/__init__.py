@@ -1,0 +1,49 @@
+"""The always-on fleet daemon: refresh and serve under one lifecycle.
+
+Everything else in this repo is a batch you run; this package is the
+system that stays up.  A :class:`~repro.daemon.coordinator.Coordinator`
+owns a **persistent job queue** (:class:`~repro.daemon.queue.JobQueue`:
+JSON journal + NPZ payload spool, priorities, FIFO within priority,
+bounded retry with exponential backoff, crash recovery on restart), a
+scheduler that runs concurrent fleet refreshes through the existing
+:class:`~repro.service.executor.ShardExecutor` backends over **one shared
+process pool**, and an embedded
+:class:`~repro.query.engine.QueryEngine` that every completed refresh
+auto-publishes into — so ``/api/localize`` always answers from the
+freshest fleet.  :class:`~repro.daemon.http.DaemonServer` puts the
+submit / status / result / cancel / localize API on an HTTP socket
+(stdlib ``ThreadingHTTPServer``, JSON bodies);
+:class:`~repro.daemon.client.DaemonClient` is the matching stdlib
+client.  Graceful draining — stop accepting, finish running jobs,
+journal the rest — is wired to SIGTERM by the ``daemon start`` CLI.
+
+See ``docs/ARCHITECTURE.md`` for the lifecycle (survey → job queue →
+refresh → publish → serve) and ``docs/API.md`` for the HTTP surface.
+"""
+
+from repro.daemon.client import DaemonClient, DaemonError
+from repro.daemon.coordinator import (
+    JOB_KINDS,
+    REFRESH_FLEET,
+    SERVE_PUBLISH,
+    Coordinator,
+    DaemonConfig,
+)
+from repro.daemon.http import DaemonRequestHandler, DaemonServer
+from repro.daemon.queue import JobQueue
+from repro.io.jobs import JOB_STATES, JobRecord
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "REFRESH_FLEET",
+    "SERVE_PUBLISH",
+    "JobRecord",
+    "JobQueue",
+    "DaemonConfig",
+    "Coordinator",
+    "DaemonServer",
+    "DaemonRequestHandler",
+    "DaemonClient",
+    "DaemonError",
+]

@@ -1,0 +1,286 @@
+"""HTTP surface of the daemon: submit / status / result / cancel / localize.
+
+A thin stdlib layer — ``http.server.ThreadingHTTPServer`` plus a request
+handler — over the :class:`~repro.daemon.coordinator.Coordinator`'s
+same-process API.  Bodies are JSON both ways (job payloads ride either as
+a filesystem path the daemon can read, or uploaded inline as
+base64-encoded NPZ wire bytes); the one binary endpoint is the result
+download, which streams the report payload back as
+``application/octet-stream``.
+
+Routes::
+
+    GET  /api/health              daemon status, queue counts, generation
+    GET  /api/jobs                every job record (+ per-state counts)
+    GET  /api/jobs/<id>           one job record
+    GET  /api/jobs/<id>/result    completed job's report payload (NPZ bytes)
+    POST /api/jobs                submit {kind, payload_path|payload_b64, ...}
+    POST /api/jobs/<id>/cancel    cancel a queued job
+    POST /api/localize            {site, measurements} -> indices/points
+    POST /api/drain               begin graceful shutdown (idempotent)
+
+Error responses are JSON ``{"error": ...}`` with conventional status
+codes: 400 malformed, 404 unknown job/route, 409 illegal transition,
+503 draining.  See :class:`~repro.daemon.client.DaemonClient` for the
+matching client and ``docs/API.md`` for the full request/response shapes.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DaemonRequestHandler", "DaemonServer"]
+
+_MAX_BODY_BYTES = 256 * 1024 * 1024  # refuse absurd uploads outright
+
+
+class DaemonRequestHandler(BaseHTTPRequestHandler):
+    """Maps the HTTP routes onto the owning server's coordinator."""
+
+    server_version = "repro-daemon"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def coordinator(self):
+        return self.server.coordinator
+
+    def log_message(self, format, *args):  # noqa: A002 — BaseHTTPRequestHandler API
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------- responses
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload) -> None:
+        self._send(
+            code, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise ValueError(f"unreasonable request body size {length}")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    @staticmethod
+    def _record_json(job) -> dict:
+        from repro.io.jobs import job_to_json
+
+        return job_to_json(job)
+
+    # ----------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            if path == "/api/health":
+                self._send_json(200, self.coordinator.health())
+            elif path == "/api/jobs":
+                self._send_json(
+                    200,
+                    {
+                        "jobs": [
+                            self._record_json(job)
+                            for job in self.coordinator.jobs()
+                        ],
+                        "counts": self.coordinator.queue.counts(),
+                    },
+                )
+            elif path.startswith("/api/jobs/") and path.endswith("/result"):
+                job_id = path[len("/api/jobs/") : -len("/result")]
+                self._send(
+                    200,
+                    self.coordinator.result_bytes(job_id),
+                    "application/octet-stream",
+                )
+            elif path.startswith("/api/jobs/"):
+                job_id = path[len("/api/jobs/") :]
+                self._send_json(
+                    200, self._record_json(self.coordinator.status(job_id))
+                )
+            else:
+                self._send_error_json(404, f"unknown route {path!r}")
+        except KeyError as exc:
+            self._send_error_json(404, str(exc.args[0]) if exc.args else str(exc))
+        except ValueError as exc:
+            self._send_error_json(409, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            body = self._read_json_body()
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        try:
+            if path == "/api/jobs":
+                self._submit(body)
+            elif path.startswith("/api/jobs/") and path.endswith("/cancel"):
+                job_id = path[len("/api/jobs/") : -len("/cancel")]
+                self._send_json(
+                    200, self._record_json(self.coordinator.cancel(job_id))
+                )
+            elif path == "/api/localize":
+                self._localize(body)
+            elif path == "/api/drain":
+                self.server.initiate_drain()
+                self._send_json(202, {"draining": True})
+            else:
+                self._send_error_json(404, f"unknown route {path!r}")
+        except KeyError as exc:
+            self._send_error_json(404, str(exc.args[0]) if exc.args else str(exc))
+        except RuntimeError as exc:
+            self._send_error_json(503, str(exc))
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+
+    # ---------------------------------------------------------------- handlers
+    def _submit(self, body: dict) -> None:
+        kind = body.get("kind", "refresh_fleet")
+        payload_path = body.get("payload_path")
+        payload_b64 = body.get("payload_b64")
+        if (payload_path is None) == (payload_b64 is None):
+            raise ValueError(
+                "submit needs exactly one of payload_path (a file the daemon "
+                "can read) or payload_b64 (base64 NPZ wire bytes)"
+            )
+        if payload_b64 is not None:
+            try:
+                payload = base64.b64decode(payload_b64, validate=True)
+            except (binascii.Error, TypeError) as exc:
+                raise ValueError(f"payload_b64 is not valid base64: {exc}") from exc
+        else:
+            payload = str(payload_path)
+        job = self.coordinator.submit(
+            str(kind),
+            payload,
+            priority=int(body.get("priority", 0)),
+            max_attempts=int(body.get("max_attempts", 3)),
+            backoff_seconds=float(body.get("backoff_seconds", 0.5)),
+            label=str(body.get("label", "")),
+            max_stack_bytes=(
+                None
+                if body.get("max_stack_bytes") is None
+                else int(body["max_stack_bytes"])
+            ),
+            workers=int(body.get("workers", 0)),
+        )
+        self._send_json(201, self._record_json(job))
+
+    def _localize(self, body: dict) -> None:
+        site = body.get("site")
+        measurements = body.get("measurements")
+        if not site or measurements is None:
+            raise ValueError("localize needs 'site' and 'measurements'")
+        answer = self.coordinator.localize(
+            str(site), np.asarray(measurements, dtype=float)
+        )
+        self._send_json(
+            200,
+            {
+                "site": answer.site,
+                "matcher": answer.matcher,
+                "backend": answer.backend,
+                "generation": answer.generation,
+                "indices": [int(i) for i in answer.indices],
+                "points": (
+                    None
+                    if answer.points is None
+                    else [[float(x) for x in row] for row in answer.points]
+                ),
+                "cache_hits": int(answer.cache_hits),
+            },
+        )
+
+
+class DaemonServer(ThreadingHTTPServer):
+    """The daemon's HTTP front end, owning one coordinator.
+
+    ``start`` boots the coordinator's scheduler and serves requests on a
+    background thread; ``initiate_drain`` (also triggered by the
+    ``POST /api/drain`` route and the CLI's SIGTERM handler) runs the
+    graceful shutdown sequence — coordinator drains first, the socket
+    closes last, so status queries keep working while running jobs
+    finish.  ``wait`` blocks until that sequence completes.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, coordinator, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__((host, port), DaemonRequestHandler)
+        self.coordinator = coordinator
+        self.verbose = False
+        self._serve_thread: Optional[threading.Thread] = None
+        self._drain_thread: Optional[threading.Thread] = None
+        self._drain_lock = threading.Lock()
+        self._drained = threading.Event()
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Start the coordinator and serve HTTP on a background thread."""
+        self.coordinator.start()
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-daemon-http", daemon=True
+        )
+        self._serve_thread.start()
+
+    def initiate_drain(self) -> None:
+        """Begin graceful shutdown without blocking the calling thread."""
+        with self._drain_lock:
+            if self._drain_thread is not None:
+                return
+            # Reject new submissions immediately; the background thread
+            # then waits out the running jobs before closing the socket.
+            self.coordinator.stop_accepting()
+            self._drain_thread = threading.Thread(
+                target=self._drain_and_close,
+                name="repro-daemon-drain",
+                daemon=True,
+            )
+            self._drain_thread.start()
+
+    def _drain_and_close(self) -> None:
+        try:
+            self.coordinator.drain()
+            self.shutdown()
+            self.server_close()
+        finally:
+            self._drained.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a drain completes; returns ``False`` on timeout."""
+        return self._drained.wait(timeout=timeout)
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Drain and wait — the blocking convenience for tests and the CLI."""
+        self.initiate_drain()
+        return self.wait(timeout=timeout)

@@ -289,6 +289,159 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    daemon_parser = subparsers.add_parser(
+        "daemon",
+        help="run (or talk to) the always-on fleet coordinator",
+    )
+    daemon_sub = daemon_parser.add_subparsers(dest="daemon_command", required=True)
+
+    daemon_start_parser = daemon_sub.add_parser(
+        "start",
+        help="start the coordinator: job queue + HTTP API + query serving",
+    )
+    daemon_start_parser.add_argument(
+        "--spool",
+        required=True,
+        help="spool directory (journal + payloads + results); created if missing",
+    )
+    daemon_start_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    daemon_start_parser.add_argument(
+        "--port",
+        type=int,
+        default=8753,
+        help="listen port (default 8753; 0 picks a free port, printed at startup)",
+    )
+    daemon_start_parser.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="jobs executed concurrently (default 2)",
+    )
+    daemon_start_parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=None,
+        help=(
+            "size of the shared process pool refresh jobs scatter shards "
+            "onto (default: CPU count; 0 disables the pool — all jobs "
+            "solve serially)"
+        ),
+    )
+    daemon_start_parser.add_argument(
+        "--matcher",
+        choices=("knn", "omp", "svr", "rass"),
+        default="knn",
+        help="matcher the embedded query engine binds at each publish",
+    )
+    daemon_start_parser.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        help="LRU result-cache capacity of the query engine (0 disables)",
+    )
+    daemon_start_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each HTTP request to stderr",
+    )
+
+    daemon_submit_parser = daemon_sub.add_parser(
+        "submit", help="submit a job to a running daemon over HTTP"
+    )
+    daemon_submit_parser.add_argument(
+        "--url", required=True, help="daemon base URL, e.g. http://127.0.0.1:8753"
+    )
+    daemon_submit_parser.add_argument(
+        "--in",
+        dest="input",
+        required=True,
+        help="job payload: a 'fleet export' request payload (refresh_fleet) "
+        "or a report payload (serve_publish)",
+    )
+    daemon_submit_parser.add_argument(
+        "--kind",
+        choices=("refresh_fleet", "serve_publish"),
+        default="refresh_fleet",
+        help="job kind (default refresh_fleet)",
+    )
+    daemon_submit_parser.add_argument(
+        "--priority", type=int, default=0, help="higher runs first (default 0)"
+    )
+    daemon_submit_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="per-job shard budget on the daemon's shared process pool "
+        "(0 = solve serially)",
+    )
+    daemon_submit_parser.add_argument(
+        "--max-stack-bytes",
+        type=int,
+        default=None,
+        help="per-shard stack budget (default: service default; 0 unsharded)",
+    )
+    daemon_submit_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="retry bound before the job parks as failed (default 3)",
+    )
+    daemon_submit_parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base retry backoff in seconds, doubling per attempt (default 0.5)",
+    )
+    daemon_submit_parser.add_argument(
+        "--label", default="", help="free-form label (also the generation label)"
+    )
+    daemon_submit_parser.add_argument(
+        "--upload",
+        action="store_true",
+        help="ship the payload bytes in the request instead of passing the path",
+    )
+    daemon_submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job is terminal; exit 1 unless it completed",
+    )
+    daemon_submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait polling budget in seconds (default 600)",
+    )
+
+    daemon_status_parser = daemon_sub.add_parser(
+        "status", help="show the daemon's health, or one job's record"
+    )
+    daemon_status_parser.add_argument("--url", required=True, help="daemon base URL")
+    daemon_status_parser.add_argument(
+        "--job", default=None, help="job id (default: overall health + queue)"
+    )
+
+    daemon_result_parser = daemon_sub.add_parser(
+        "result", help="download a completed job's report payload"
+    )
+    daemon_result_parser.add_argument("--url", required=True, help="daemon base URL")
+    daemon_result_parser.add_argument("--job", required=True, help="job id")
+    daemon_result_parser.add_argument(
+        "--out", required=True, help="destination report payload (.npz)"
+    )
+
+    daemon_stop_parser = daemon_sub.add_parser(
+        "stop", help="gracefully drain a running daemon over HTTP"
+    )
+    daemon_stop_parser.add_argument("--url", required=True, help="daemon base URL")
+    daemon_stop_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the drain to finish (default 120)",
+    )
+
     fleet_parser.add_argument(
         "--environments",
         type=_parse_environments,
@@ -714,6 +867,149 @@ def run_fleet(args) -> int:
     return 0
 
 
+def run_daemon_start(args) -> int:
+    """Run the ``daemon start`` subcommand: serve until drained."""
+    import signal
+
+    from repro.daemon import Coordinator, DaemonConfig, DaemonServer
+    from repro.query import QueryConfig
+
+    if args.cache < 0:
+        print("--cache must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        config = DaemonConfig(
+            job_workers=args.job_workers,
+            pool_workers=args.pool_workers,
+            query=QueryConfig(matcher=args.matcher, cache_size=args.cache),
+        )
+        coordinator = Coordinator(args.spool, config=config)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    recovered = coordinator.queue.recovered_jobs
+    if recovered:
+        print(
+            f"recovered {len(recovered)} interrupted job(s): "
+            f"{', '.join(recovered)}",
+            file=sys.stderr,
+        )
+
+    server = DaemonServer(coordinator, host=args.host, port=args.port)
+    server.verbose = args.verbose
+
+    def _drain(signum, frame):
+        server.initiate_drain()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+
+    server.start()
+    print(
+        f"daemon listening on {server.url} (spool: {coordinator.queue.spool})",
+        flush=True,
+    )
+    server.wait()
+    print("daemon drained; queued jobs are journaled for the next start", flush=True)
+    return 0
+
+
+def run_daemon_submit(args) -> int:
+    """Run the ``daemon submit`` subcommand."""
+    from repro.daemon import DaemonClient, DaemonError
+
+    client = DaemonClient(args.url)
+    try:
+        record = client.submit(
+            args.input,
+            kind=args.kind,
+            priority=args.priority,
+            max_attempts=args.max_attempts,
+            backoff_seconds=args.backoff,
+            label=args.label,
+            max_stack_bytes=args.max_stack_bytes,
+            workers=args.workers,
+            upload=args.upload,
+        )
+    except DaemonError as error:
+        print(error, file=sys.stderr)
+        return 1
+    print(f"submitted {record['id']} ({record['kind']}, priority {record['priority']})")
+    if not args.wait:
+        return 0
+    try:
+        record = client.wait(record["id"], timeout=args.timeout)
+    except (DaemonError, TimeoutError) as error:
+        print(error, file=sys.stderr)
+        return 1
+    line = f"{record['id']}: {record['state']} after {record['attempts']} attempt(s)"
+    if record.get("generation") is not None:
+        line += f", published generation {record['generation']}"
+    if record.get("error"):
+        line += f" — {record['error']}"
+    print(line)
+    return 0 if record["state"] == "done" else 1
+
+
+def run_daemon_status(args) -> int:
+    """Run the ``daemon status`` subcommand."""
+    import json as _json
+
+    from repro.daemon import DaemonClient, DaemonError
+
+    client = DaemonClient(args.url)
+    try:
+        payload = client.status(args.job) if args.job else client.health()
+    except DaemonError as error:
+        print(error, file=sys.stderr)
+        return 1
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def run_daemon_result(args) -> int:
+    """Run the ``daemon result`` subcommand."""
+    from repro.daemon import DaemonClient, DaemonError
+
+    client = DaemonClient(args.url)
+    try:
+        out = client.fetch_result(args.job, args.out)
+    except DaemonError as error:
+        print(error, file=sys.stderr)
+        return 1
+    print(f"wrote {out} ({out.stat().st_size:,} bytes)")
+    return 0
+
+
+def run_daemon_stop(args) -> int:
+    """Run the ``daemon stop`` subcommand: drain over HTTP."""
+    import time as _time
+
+    from repro.daemon import DaemonClient, DaemonError
+
+    client = DaemonClient(args.url)
+    try:
+        client.drain()
+    except DaemonError as error:
+        print(error, file=sys.stderr)
+        return 1
+    deadline = _time.monotonic() + args.timeout
+    health = {"jobs": {}}
+    while _time.monotonic() < deadline:
+        try:
+            health = client.health()
+        except DaemonError:
+            print("daemon drained")
+            return 0
+        _time.sleep(min(0.2, max(0.0, deadline - _time.monotonic())))
+    print(
+        f"daemon still draining after {args.timeout:g}s "
+        f"({health['jobs'].get('running', 0)} job(s) running)",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def main(argv: Optional[Iterable[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -731,6 +1027,17 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         if fleet_command == "run":
             return run_fleet_run(args)
         return run_fleet(args)
+
+    if args.command == "daemon":
+        if args.daemon_command == "start":
+            return run_daemon_start(args)
+        if args.daemon_command == "submit":
+            return run_daemon_submit(args)
+        if args.daemon_command == "status":
+            return run_daemon_status(args)
+        if args.daemon_command == "result":
+            return run_daemon_result(args)
+        return run_daemon_stop(args)
 
     if args.command == "query":
         if args.query_command == "export":

@@ -7,11 +7,23 @@ configs and the executed shard plan.  The same layout works in memory
 (``requests_to_bytes`` / ``requests_from_bytes``) — that is how the
 distributed executor scatters shards to worker processes.  The read-path
 payloads (:mod:`repro.io.query`) carry batched localization queries and the
-engine's answers behind ``query export`` / ``query run``.  See
-:mod:`repro.io.wire` for the layout and guarantees, and
-``docs/WIRE_FORMAT.md`` for the on-disk spec.
+engine's answers behind ``query export`` / ``query run``.  The always-on
+daemon's job queue persists through :mod:`repro.io.jobs`: validated
+:class:`~repro.io.jobs.JobRecord` entries in an atomically-rewritten JSON
+journal, next to the jobs' NPZ payloads.  See :mod:`repro.io.wire` for the
+layout and guarantees, and ``docs/WIRE_FORMAT.md`` for the on-disk spec.
 """
 
+from repro.io.jobs import (
+    JOB_STATES,
+    JOURNAL_FORMAT,
+    JOURNAL_VERSION,
+    JobRecord,
+    job_from_json,
+    job_to_json,
+    load_journal,
+    save_journal,
+)
 from repro.io.query import (
     ANSWERS_FORMAT,
     QUERIES_FORMAT,
@@ -50,4 +62,12 @@ __all__ = [
     "save_answers",
     "load_answers",
     "payload_info",
+    "JOURNAL_FORMAT",
+    "JOURNAL_VERSION",
+    "JOB_STATES",
+    "JobRecord",
+    "job_to_json",
+    "job_from_json",
+    "save_journal",
+    "load_journal",
 ]

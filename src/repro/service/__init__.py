@@ -31,6 +31,7 @@ path; see ``docs/API.md`` for the public surface.
 """
 
 from repro.service.executor import (
+    PooledProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ShardExecutor,
@@ -62,6 +63,7 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ProcessExecutor",
+    "PooledProcessExecutor",
     "plan_shards",
     "synthesize_fleet",
 ]

@@ -63,6 +63,7 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ProcessExecutor",
+    "PooledProcessExecutor",
     "resolve_executor",
 ]
 
@@ -213,6 +214,22 @@ class ProcessExecutor(ShardExecutor):
         self._check_reproducible(prepared, plan)
         from concurrent.futures import ProcessPoolExecutor
 
+        workers = min(self.max_workers, len(plan.shards))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return self._execute_on_pool(prepared, plan, pool)
+
+    def _execute_on_pool(
+        self, prepared: List[PreparedSite], plan: ShardPlan, pool
+    ) -> Tuple[ShardPlan, Dict[int, SelfAugmentedResult]]:
+        """Scatter the plan's shards over ``pool`` and gather in plan order.
+
+        At most ``max_workers`` shard futures are in flight at a time, so
+        several executors can share one caller-owned pool (the daemon's
+        case — see :class:`PooledProcessExecutor`) while each honors its
+        own worker budget.  Gathering in plan order (not completion order)
+        keeps bookkeeping — like the per-site reports — deterministic for
+        any worker count or scheduling interleaving.
+        """
         from repro.io.wire import requests_to_bytes
 
         # Ship the coordinator's MIC/LRR along with each request (the wire
@@ -226,18 +243,32 @@ class ProcessExecutor(ShardExecutor):
             for shard in plan.shards
         ]
         results: Dict[int, SelfAugmentedResult] = {}
-        workers = min(self.max_workers, len(plan.shards))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_solve_shard_payload, payload, shard.index)
-                for shard, payload in zip(plan.shards, payloads)
-            ]
-            # Gather in plan order (not completion order), so bookkeeping —
-            # like the per-site reports — is deterministic for any worker
-            # count or scheduling interleaving.
-            for shard, future in zip(plan.shards, futures):
-                plan, shard_results = _gather(plan, shard, future.result())
-                results.update(shard_results)
+        shards = plan.shards
+        window = max(1, self.max_workers)
+        futures: Dict[int, "object"] = {}
+        submitted = 0
+        for position, shard in enumerate(shards):
+            while submitted < len(shards) and submitted - position < window:
+                futures[submitted] = pool.submit(
+                    _solve_shard_payload, payloads[submitted], shards[submitted].index
+                )
+                submitted += 1
+            future = futures.pop(position)
+            try:
+                outcome = future.result()
+            except Exception as exc:
+                # A worker traceback alone loses *which* sites were being
+                # solved; name the shard's members so the caller can
+                # exclude or resubmit them.
+                for pending in futures.values():
+                    pending.cancel()
+                sites = ", ".join(repr(site) for site in shard.sites)
+                raise RuntimeError(
+                    f"worker failed solving shard {shard.index} "
+                    f"(sites {sites}): {exc}"
+                ) from exc
+            plan, shard_results = _gather(plan, shard, outcome)
+            results.update(shard_results)
         return plan, results
 
     @staticmethod
@@ -261,6 +292,41 @@ class ProcessExecutor(ShardExecutor):
                         "integer seed per request so worker processes "
                         "re-derive the coordinator's random init exactly"
                     )
+
+
+class PooledProcessExecutor(ProcessExecutor):
+    """Scatter-gather over a **caller-owned, shared** process pool.
+
+    Where :class:`ProcessExecutor` spins a pool up per ``execute`` call,
+    this variant reuses a ``concurrent.futures.ProcessPoolExecutor`` the
+    caller keeps alive — the always-on daemon runs every concurrent fleet
+    refresh through one pool so worker processes are created once, not per
+    job.  ``max_workers`` becomes the executor's *in-flight shard budget*
+    on that shared pool: at most that many of its shards are queued or
+    running at a time, so one huge job cannot starve the others even
+    though they share processes.
+
+    Results stay bit-identical to :class:`SerialExecutor` — the scatter
+    payloads, worker entry point and plan-order gather are exactly
+    :class:`ProcessExecutor`'s.  The pool's lifecycle belongs to the
+    caller: ``execute`` never shuts it down.
+    """
+
+    name = "pooled-process"
+
+    def __init__(self, pool, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        if pool is None:
+            raise ValueError("PooledProcessExecutor needs a live process pool")
+        self._pool = pool
+
+    def execute(
+        self, prepared: List[PreparedSite], plan: ShardPlan
+    ) -> Tuple[ShardPlan, Dict[int, SelfAugmentedResult]]:
+        if not plan.shards:
+            return plan, {}
+        self._check_reproducible(prepared, plan)
+        return self._execute_on_pool(prepared, plan, self._pool)
 
 
 def resolve_executor(

@@ -1,0 +1,46 @@
+"""Shared fixtures for the daemon tests: a small fleet payload on disk.
+
+The daemon runs whole fleet refreshes per job, so these tests use a
+deliberately tiny synthetic fleet (8 sites, few links, few solver
+iterations) to keep each refresh well under a second while still
+exercising the real solve → report → publish path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.self_augmented import SelfAugmentedConfig
+from repro.core.updater import UpdaterConfig
+from repro.io import save_requests
+from repro.service.synthetic import synthesize_fleet
+
+FLEET_SITES = 8
+ELAPSED_DAYS = 30.0
+
+
+@pytest.fixture(scope="session")
+def daemon_fleet_requests():
+    """An 8-site synthetic fleet sized for per-job refreshes."""
+    return synthesize_fleet(
+        FLEET_SITES,
+        elapsed_days=ELAPSED_DAYS,
+        seed=23,
+        link_count=(2, 3),
+        locations_per_link=3,
+        updater=UpdaterConfig(solver=SelfAugmentedConfig(max_iterations=4)),
+    )
+
+
+@pytest.fixture(scope="session")
+def fleet_payload(daemon_fleet_requests, tmp_path_factory):
+    """The fleet as an on-disk request payload jobs can reference."""
+    path = tmp_path_factory.mktemp("payload") / "fleet.npz"
+    save_requests(path, daemon_fleet_requests, elapsed_days=ELAPSED_DAYS)
+    return path
+
+
+@pytest.fixture(scope="session")
+def fleet_payload_bytes(fleet_payload):
+    """The same payload as wire bytes (the upload path)."""
+    return fleet_payload.read_bytes()

@@ -1,0 +1,175 @@
+"""The daemon journal must round-trip exactly and refuse corrupt input."""
+
+import json
+
+import pytest
+
+from repro.io.jobs import (
+    JOB_STATES,
+    JOURNAL_FORMAT,
+    JOURNAL_VERSION,
+    JobRecord,
+    copy_record,
+    job_from_json,
+    job_to_json,
+    load_journal,
+    save_journal,
+)
+
+
+def _record(**overrides):
+    base = dict(
+        id="j000004",
+        kind="refresh_fleet",
+        priority=3,
+        state="queued",
+        sequence=4,
+        attempts=1,
+        max_attempts=5,
+        backoff_seconds=0.25,
+        not_before=1700000000.125,
+        payload="payloads/j000004.npz",
+        result=None,
+        error="RuntimeError: worker failed",
+        label="nightly",
+        max_stack_bytes=65536,
+        workers=2,
+        generation=None,
+        submitted_at=1699999999.5,
+        started_at=None,
+        finished_at=None,
+    )
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+class TestRecordRoundTrip:
+    def test_every_field_survives_json(self):
+        record = _record()
+        restored = job_from_json(job_to_json(record))
+        assert restored == record
+
+    def test_float_timestamps_ride_json_exactly(self):
+        record = _record(not_before=0.1 + 0.2, submitted_at=1e-17)
+        encoded = json.loads(json.dumps(job_to_json(record)))
+        restored = job_from_json(encoded)
+        assert restored.not_before == record.not_before
+        assert restored.submitted_at == record.submitted_at
+
+    def test_copy_is_independent(self):
+        record = _record()
+        clone = copy_record(record)
+        clone.state = "running"
+        assert record.state == "queued"
+
+    def test_pending_and_terminal_partition_states(self):
+        for state in JOB_STATES:
+            record = _record(state=state)
+            assert record.is_pending != record.is_terminal
+        assert _record(state="queued").is_pending
+        assert _record(state="running").is_pending
+        assert _record(state="done").is_terminal
+        assert _record(state="failed").is_terminal
+        assert _record(state="cancelled").is_terminal
+
+
+class TestRecordValidation:
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"id": ""}, "non-empty identifier"),
+            ({"kind": ""}, "empty kind"),
+            ({"state": "paused"}, "unknown state"),
+            ({"max_attempts": 0}, "at least 1"),
+            ({"attempts": -1}, "non-negative"),
+            ({"backoff_seconds": -0.5}, "non-negative"),
+            ({"workers": -2}, "non-negative"),
+            ({"max_stack_bytes": -1}, "non-negative or None"),
+        ],
+    )
+    def test_bad_fields_rejected(self, overrides, match):
+        with pytest.raises(ValueError, match=match):
+            _record(**overrides)
+
+    def test_unknown_json_fields_rejected(self):
+        data = job_to_json(_record())
+        data["retries_left"] = 3
+        with pytest.raises(ValueError, match="unknown fields.*retries_left"):
+            job_from_json(data)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            job_from_json(["j0"])
+
+
+class TestJournalFile:
+    def test_save_load_round_trip(self, tmp_path):
+        journal = tmp_path / "journal.json"
+        jobs = [_record(id=f"j{i}", sequence=i) for i in range(3)]
+        save_journal(journal, jobs)
+        assert load_journal(journal) == jobs
+
+    def test_jobs_stored_in_sequence_order(self, tmp_path):
+        journal = tmp_path / "journal.json"
+        save_journal(
+            journal,
+            [_record(id="jB", sequence=7), _record(id="jA", sequence=2)],
+        )
+        assert [job.id for job in load_journal(journal)] == ["jA", "jB"]
+
+    def test_header_carries_format_and_version(self, tmp_path):
+        journal = tmp_path / "journal.json"
+        save_journal(journal, [_record()])
+        data = json.loads(journal.read_text())
+        assert data["format"] == JOURNAL_FORMAT
+        assert data["version"] == JOURNAL_VERSION
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        journal = tmp_path / "journal.json"
+        save_journal(journal, [_record()])
+        save_journal(journal, [_record(state="running")])
+        assert [p.name for p in tmp_path.iterdir()] == ["journal.json"]
+
+    def test_truncated_journal_rejected(self, tmp_path):
+        journal = tmp_path / "journal.json"
+        save_journal(journal, [_record()])
+        journal.write_text(journal.read_text()[:40])
+        with pytest.raises(ValueError, match="corrupt job journal"):
+            load_journal(journal)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        journal = tmp_path / "journal.json"
+        journal.write_text(json.dumps({"format": "nope", "version": 1, "jobs": []}))
+        with pytest.raises(ValueError, match="holds format 'nope'"):
+            load_journal(journal)
+
+    def test_future_version_rejected(self, tmp_path):
+        journal = tmp_path / "journal.json"
+        journal.write_text(
+            json.dumps(
+                {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION + 1, "jobs": []}
+            )
+        )
+        with pytest.raises(ValueError, match="journal version"):
+            load_journal(journal)
+
+    def test_duplicate_ids_rejected(self, tmp_path):
+        journal = tmp_path / "journal.json"
+        journal.write_text(
+            json.dumps(
+                {
+                    "format": JOURNAL_FORMAT,
+                    "version": JOURNAL_VERSION,
+                    "jobs": [
+                        job_to_json(_record(id="j1", sequence=0)),
+                        job_to_json(_record(id="j1", sequence=1)),
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="duplicate job id"):
+            load_journal(journal)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read job journal"):
+            load_journal(tmp_path / "absent.json")

@@ -15,6 +15,7 @@ import pytest
 from repro.core.self_augmented import SelfAugmentedConfig
 from repro.core.updater import UpdaterConfig
 from repro.service.executor import (
+    PooledProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ShardExecutor,
@@ -186,6 +187,89 @@ class TestWorkerPayloadPath:
         # ... while the serial default still accepts it.
         reports = UpdateService().update_fleet([request])
         assert reports[0].site == request.site
+
+
+class TestWorkerFailureContext:
+    """ISSUE 8 satellite: worker-side failures must name the shard's sites."""
+
+    def test_worker_failure_names_shard_sites(self, fleet_requests, monkeypatch):
+        """A worker that dies rehydrating its payload raises with the site
+        ids of the failing shard, not just a bare pool traceback."""
+        import repro.io.wire as wire
+
+        monkeypatch.setattr(
+            wire, "requests_to_bytes", lambda requests: b"not an npz payload"
+        )
+        subset = fleet_requests[:4]
+        with pytest.raises(RuntimeError) as excinfo:
+            UpdateService().update_fleet(subset, executor=ProcessExecutor(2))
+        message = str(excinfo.value)
+        assert "worker failed solving shard" in message
+        assert any(request.site in message for request in subset), message
+
+    def test_healthy_fleet_unaffected_by_error_path(self, fleet_requests):
+        """The wrapper only fires on failure; healthy runs stay identical."""
+        subset = fleet_requests[:4]
+        serial = UpdateService().update_fleet(subset)
+        scattered = UpdateService().update_fleet(
+            subset, executor=ProcessExecutor(2)
+        )
+        for expected, got in zip(serial, scattered):
+            np.testing.assert_array_equal(got.estimate, expected.estimate)
+
+
+class TestPooledProcessExecutor:
+    """The daemon's shared-pool backend keeps the bit-parity contract."""
+
+    def test_shared_pool_bit_identical_to_serial(
+        self, fleet_requests, serial_refresh
+    ):
+        from concurrent.futures import ProcessPoolExecutor
+
+        serial_plan, serial_reports = serial_refresh
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            service = UpdateService()
+            reports = service.update_fleet(
+                fleet_requests,
+                shards=ShardConfig(max_stack_bytes=SHARD_BUDGET),
+                executor=PooledProcessExecutor(pool, max_workers=2),
+            )
+            for expected, got in zip(serial_reports, reports):
+                np.testing.assert_array_equal(got.estimate, expected.estimate)
+                assert got.sweeps == expected.sweeps
+            assert service.last_plan.shard_count == serial_plan.shard_count
+            # The pool belongs to the caller: execute() must not shut it down.
+            assert pool.submit(int, 7).result() == 7
+
+    def test_window_budget_of_one_still_completes(self, fleet_requests):
+        """max_workers caps in-flight shards, not total shards."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        subset = fleet_requests[:8]
+        serial = UpdateService().update_fleet(
+            subset, shards=ShardConfig(max_stack_bytes=SHARD_BUDGET)
+        )
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            scattered = UpdateService().update_fleet(
+                subset,
+                shards=ShardConfig(max_stack_bytes=SHARD_BUDGET),
+                executor=PooledProcessExecutor(pool, max_workers=1),
+            )
+        for expected, got in zip(serial, scattered):
+            np.testing.assert_array_equal(got.estimate, expected.estimate)
+
+    def test_requires_live_pool(self):
+        with pytest.raises(ValueError, match="live process pool"):
+            PooledProcessExecutor(None, max_workers=2)
+
+    def test_name_and_subclass(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            executor = PooledProcessExecutor(pool, max_workers=3)
+            assert executor.name == "pooled-process"
+            assert executor.workers == 3
+            assert isinstance(executor, ProcessExecutor)
 
 
 class TestExecutorResolution:

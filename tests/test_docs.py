@@ -99,6 +99,71 @@ class TestCliDocsSync:
         assert "query" in build_parser().format_help()
 
 
+class TestDaemonDocsSync:
+    def test_daemon_cli_documented(self):
+        """Every daemon subcommand and its serving flags must be in API.md."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for sub in (
+            "daemon start",
+            "daemon submit",
+            "daemon status",
+            "daemon result",
+            "daemon stop",
+        ):
+            assert sub in api, f"docs/API.md does not document `{sub}`"
+        for flag in ("--spool", "--job-workers", "--pool-workers", "--wait"):
+            assert flag in api, f"docs/API.md does not document `{flag}`"
+        from repro.experiments.cli import build_parser
+
+        assert "daemon" in build_parser().format_help()
+
+    def test_http_routes_documented(self):
+        """The HTTP API table must cover every route the server exposes."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for route in (
+            "/api/health",
+            "/api/jobs",
+            "/api/localize",
+            "/api/drain",
+        ):
+            assert route in api, f"docs/API.md does not document `{route}`"
+
+    def test_lifecycle_in_architecture(self):
+        """ARCHITECTURE.md must describe the daemon lifecycle with its
+        actual class names and both kill-safety invariants."""
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for name in (
+            "Coordinator",
+            "JobQueue",
+            "DaemonServer",
+            "PooledProcessExecutor",
+        ):
+            assert name in text, f"docs/ARCHITECTURE.md is missing {name}"
+        for phrase in ("job queue", "publish", "drain"):
+            assert phrase in text.lower(), (
+                f"docs/ARCHITECTURE.md lifecycle section lost {phrase!r}"
+            )
+
+    def test_journal_format_documented(self):
+        """WIRE_FORMAT.md must describe the journal with its format tag and
+        every job state the queue can journal."""
+        text = (REPO_ROOT / "docs" / "WIRE_FORMAT.md").read_text()
+        assert "repro-daemon-journal" in text
+        from repro.io.jobs import JOB_STATES
+
+        for state in JOB_STATES:
+            assert f"`{state}`" in text, (
+                f"docs/WIRE_FORMAT.md does not document job state {state!r}"
+            )
+
+    def test_readme_runs_as_a_service(self):
+        """README must keep the run-it-as-a-service quickstart."""
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "daemon start" in text
+        assert "daemon submit" in text
+        assert "DaemonClient" in text
+
+
 class TestQueryDocsSync:
     def test_matchers_and_backends_documented(self):
         """Every matcher/backend the engine accepts must appear in API.md."""
