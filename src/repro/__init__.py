@@ -60,11 +60,16 @@ from repro.environments import (
 from repro.fingerprint.matrix import FingerprintMatrix
 from repro.fingerprint.database import FingerprintDatabase
 from repro.io import (
+    FleetDelta,
+    apply_delta,
     load_answers,
+    load_delta,
     load_queries,
     load_report,
     load_requests,
+    report_fingerprint,
     save_answers,
+    save_delta,
     save_queries,
     save_report,
     save_requests,
@@ -93,11 +98,12 @@ from repro.service import (
     UpdateReport,
     UpdateRequest,
     UpdateService,
+    WarmFactors,
     synthesize_fleet,
 )
 from repro.simulation.campaign import SurveyCampaign, CampaignConfig
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "UpdateRequest",
@@ -118,6 +124,7 @@ __all__ = [
     "DaemonClient",
     "JobQueue",
     "JobRecord",
+    "WarmFactors",
     "save_requests",
     "load_requests",
     "save_report",
@@ -126,6 +133,11 @@ __all__ = [
     "load_queries",
     "save_answers",
     "load_answers",
+    "FleetDelta",
+    "report_fingerprint",
+    "save_delta",
+    "load_delta",
+    "apply_delta",
     "QueryEngine",
     "QueryConfig",
     "QueryIndex",

@@ -73,7 +73,14 @@ class SelfAugmentedConfig:
     use_reference_constraint, use_structure_constraint:
         Ablation switches for Fig. 16.
     init_scale:
-        Standard deviation of the random initialisation ``L0``.
+        Standard deviation of the random initialisation ``L0`` (ignored by
+        ``init="svd"``, whose factors are already on the data scale).
+    init:
+        Cold-start strategy for ``L0``.  ``"random"`` (default, bit-pinned)
+        draws from the rng; ``"svd"`` seeds the factors with a truncated SVD
+        of the masked observations (``scipy.sparse.linalg.svds`` with a
+        deterministic start vector, dense ``np.linalg.svd`` when the rank is
+        full or SciPy is unavailable).
     solver_backend:
         ``"batched"`` (default) stacks every per-column/per-row ridge system
         of a sweep into one ``(batch, r, r)`` tensor solve; ``"looped"`` is
@@ -89,6 +96,7 @@ class SelfAugmentedConfig:
     use_reference_constraint: bool = True
     use_structure_constraint: bool = True
     init_scale: float = 1.0
+    init: str = "random"
     solver_backend: str = "batched"
 
     def __post_init__(self) -> None:
@@ -106,6 +114,10 @@ class SelfAugmentedConfig:
                 raise ValueError(f"{name} must be non-negative when given")
         if self.init_scale <= 0:
             raise ValueError("init_scale must be positive")
+        if self.init not in ("random", "svd"):
+            raise ValueError(
+                f"init must be 'random' or 'svd', got {self.init!r}"
+            )
         validate_solver_backend(self.solver_backend)
 
 
@@ -179,6 +191,34 @@ def _extract_stripes(matrix: np.ndarray, locations_per_link: int) -> np.ndarray:
     return xd
 
 
+def _svd_init(target: np.ndarray, rank: int, rng: RngLike) -> np.ndarray:
+    """Truncated-SVD cold start: ``L0 = U_r sqrt(S_r)`` of the masked data.
+
+    Uses ``scipy.sparse.linalg.svds`` with a deterministic start vector drawn
+    from ``rng`` (ARPACK's default start vector is random, which would break
+    reproducibility).  ``svds`` requires ``k < min(m, n)``, so the full-rank
+    case — the default, since ``rank`` defaults to ``M = min(M, N)`` — and
+    environments without SciPy fall back to the dense LAPACK SVD, which is
+    deterministic on its own.
+    """
+    m, n = target.shape
+    k = min(rank, m, n)
+    if k < min(m, n):
+        try:
+            from scipy.sparse.linalg import svds
+        except ImportError:
+            svds = None
+        if svds is not None:
+            v0 = make_rng(rng).standard_normal(min(m, n))
+            u, s, _ = svds(target, k=k, v0=v0)
+            # svds returns singular values in ascending order; pin descending.
+            order = np.argsort(s)[::-1]
+            u, s = u[:, order], s[order]
+            return u * np.sqrt(s)
+    u, s, _ = np.linalg.svd(target, full_matrices=False)
+    return u[:, :k] * np.sqrt(s[:k])
+
+
 class SweepState:
     """Validated, resumable state of one self-augmented ALS solve.
 
@@ -213,6 +253,12 @@ class SweepState:
             raise ValueError(
                 f"locations_per_link={locations_per_link} inconsistent with matrix shape {observed.shape}"
             )
+        if not np.any(observed):
+            raise ValueError(
+                "observed matrix is entirely zero (fully unobserved); the "
+                "self-augmented RSVD needs at least one observed entry to "
+                "scale its constraint weights"
+            )
         cfg = config or SelfAugmentedConfig()
         if prediction is not None:
             prediction = check_2d(prediction, "prediction")
@@ -235,7 +281,12 @@ class SweepState:
         self.lam = cfg.regularization
         self.identity = np.eye(self.rank)
 
-        self.left = cfg.init_scale * make_rng(rng).standard_normal((m, self.rank))
+        if cfg.init == "svd":
+            self.left = _svd_init(mask * observed, self.rank, rng)
+        else:
+            self.left = cfg.init_scale * make_rng(rng).standard_normal(
+                (m, self.rank)
+            )
         self.right = np.zeros((n, self.rank))
         self.stripe_map = _stripe_views(n, m)
 
@@ -285,8 +336,72 @@ class SweepState:
         self.previous_objective = np.inf
         self.converged = False
         self.iterations = 0
+        self.warm_started = False
         self._structure_active = False
         self._estimate_stripe: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------ warm start
+    def warm_start(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        objective: Optional[float] = None,
+    ) -> bool:
+        """Resume from a previous generation's factors.
+
+        Replaces the cold-start factors with ``left`` / ``right`` and resets
+        the convergence bookkeeping so the sweep budget starts over.  The
+        objective of the warm factors *on the new data* seeds
+        ``previous_objective``, so a barely-drifted refresh converges after a
+        single sweep — and when ``objective`` (the previous generation's
+        final objective) is given and matches within the configured
+        tolerance, the state is marked converged immediately: an unchanged
+        refresh runs zero sweeps and :meth:`finalize` reproduces the previous
+        factors bit for bit.
+
+        Returns whether the state converged without needing any sweeps.
+        """
+        left = check_2d(left, "left")
+        right = check_2d(right, "right")
+        if left.shape != (self.m, self.rank):
+            raise ValueError(
+                f"warm-start left factor has shape {left.shape}; "
+                f"this state needs ({self.m}, {self.rank})"
+            )
+        if right.shape != (self.n, self.rank):
+            raise ValueError(
+                f"warm-start right factor has shape {right.shape}; "
+                f"this state needs ({self.n}, {self.rank})"
+            )
+        self.left = left.copy()
+        self.right = right.copy()
+        self.iterations = 0
+        self.converged = False
+        self.warm_started = True
+        current = _objective(
+            self.left,
+            self.right,
+            self.observed,
+            self.mask,
+            self.prediction if self.use_reference else None,
+            self.g,
+            self.h,
+            self.locations_per_link,
+            self.lam,
+            self.w1,
+            self.w2,
+        )
+        if objective is not None and np.isfinite(objective):
+            change = abs(objective - current) / max(objective, 1e-12)
+            if change < self.cfg.tolerance:
+                self.converged = True
+        self.previous_objective = current
+        return self.converged
+
+    def export_factors(self) -> tuple:
+        """Current factors + objective, the warm-start seam for the next
+        generation: ``(left copy, right copy, previous_objective)``."""
+        return self.left.copy(), self.right.copy(), float(self.previous_objective)
 
     # ----------------------------------------------------------- sweep driver
     @property

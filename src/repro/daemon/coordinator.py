@@ -80,6 +80,11 @@ class DaemonConfig:
     publish_on_refresh:
         Whether a completed refresh auto-publishes its report into the
         embedded query engine (the unified lifecycle; on by default).
+    warm_refresh:
+        Whether ``refresh_fleet`` jobs warm-start from the last completed
+        report of the same fleet (matched by its site-name set; on by
+        default).  Sites the remembered report does not cover — or whose
+        geometry changed — fall back to a cold solve per site.
     query:
         Configuration of the embedded :class:`~repro.query.engine.QueryEngine`
         (matcher, backend, result cache).
@@ -89,6 +94,7 @@ class DaemonConfig:
     pool_workers: Optional[int] = None
     poll_interval: float = 0.05
     publish_on_refresh: bool = True
+    warm_refresh: bool = True
     query: QueryConfig = field(default_factory=QueryConfig)
 
     def __post_init__(self) -> None:
@@ -144,6 +150,10 @@ class Coordinator:
         self._clock = clock
         self._pool = None
         self._pool_lock = threading.Lock()
+        # Last completed report per fleet (keyed by sorted site names), the
+        # warm-start source for the next refresh of the same fleet.
+        self._warm_reports: Dict[Tuple[str, ...], object] = {}
+        self._warm_lock = threading.Lock()
         self._draining = threading.Event()
         self._stop_dispatch = threading.Event()
         self._dispatcher: Optional[threading.Thread] = None
@@ -293,8 +303,16 @@ class Coordinator:
         requests = load_requests(payload_path)
         executor = self._executor_for(job)
         service = UpdateService()
+        fleet_key = tuple(sorted(request.site for request in requests))
+        warm_from = None
+        if self.config.warm_refresh:
+            with self._warm_lock:
+                warm_from = self._warm_reports.get(fleet_key)
         reports = service.update_fleet(
-            requests, shards=self._shards_for(job), executor=executor
+            requests,
+            shards=self._shards_for(job),
+            executor=executor,
+            warm_from=warm_from,
         )
         report = FleetReport(
             elapsed_days=float(info.get("elapsed_days") or 0.0),
@@ -303,7 +321,11 @@ class Coordinator:
             plan=service.last_plan,
             executor=executor.name,
             workers=executor.workers,
+            sweeps_saved=service.last_sweeps_saved,
         )
+        if self.config.warm_refresh:
+            with self._warm_lock:
+                self._warm_reports[fleet_key] = report
         result_rel = f"results/{job.id}.npz"
         save_report(self.queue.spool / result_rel, report)
         generation = None

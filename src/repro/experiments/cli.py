@@ -187,6 +187,47 @@ def build_parser() -> argparse.ArgumentParser:
             "bit-identical either way"
         ),
     )
+    fleet_run_parser.add_argument(
+        "--warm-from",
+        dest="warm_from",
+        default=None,
+        help=(
+            "previous report payload (.npz) to warm-start from: sites it "
+            "covers resume from its factors instead of a cold init"
+        ),
+    )
+
+    fleet_diff_parser = fleet_sub.add_parser(
+        "diff",
+        help=(
+            "compute or apply a repro-fleet-delta payload between two "
+            "report payloads"
+        ),
+    )
+    fleet_diff_parser.add_argument(
+        "--base",
+        required=True,
+        help="base report payload (.npz) the delta is relative to",
+    )
+    fleet_diff_parser.add_argument(
+        "--target",
+        default=None,
+        help="target report payload (.npz); computes target - base",
+    )
+    fleet_diff_parser.add_argument(
+        "--delta",
+        default=None,
+        help="delta payload (.npz) to apply on top of --base instead",
+    )
+    fleet_diff_parser.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "destination payload: the delta (with --target; optional, "
+            "prints a summary without it) or the reconstructed report "
+            "(with --delta; required)"
+        ),
+    )
 
     query_parser = subparsers.add_parser(
         "query",
@@ -550,7 +591,7 @@ def run_fleet_export(args) -> int:
 
 def run_fleet_run(args) -> int:
     """Run ``fleet run``: refresh a from-disk payload through the sharded service."""
-    from repro.io import load_requests, payload_info, save_report
+    from repro.io import load_report, load_requests, payload_info, save_report
     from repro.service.executor import ProcessExecutor, SerialExecutor
     from repro.service.service import UpdateService
     from repro.service.shard import ShardConfig
@@ -573,13 +614,18 @@ def run_fleet_run(args) -> int:
     try:
         info = payload_info(args.input)
         requests = load_requests(args.input)
+        warm_from = (
+            load_report(args.warm_from) if args.warm_from else None
+        )
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
 
     service = UpdateService()
     try:
-        reports = service.update_fleet(requests, shards=shards, executor=executor)
+        reports = service.update_fleet(
+            requests, shards=shards, executor=executor, warm_from=warm_from
+        )
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
@@ -591,8 +637,16 @@ def run_fleet_run(args) -> int:
         plan=plan,
         executor=executor.name,
         workers=executor.workers,
+        sweeps_saved=service.last_sweeps_saved,
     )
     print(f"loaded {len(requests)} requests from {args.input}")
+    if warm_from is not None:
+        warm_sites = sum(r.warm_started for r in reports)
+        saved = sum(service.last_sweeps_saved.values())
+        print(
+            f"warm start from {args.warm_from}: {warm_sites}/{len(reports)} "
+            f"sites resumed, {saved} sweeps saved"
+        )
     if plan is not None and plan.shard_count:
         print(
             f"plan: {plan.shard_count} shards over {plan.site_count} sites "
@@ -613,6 +667,75 @@ def run_fleet_run(args) -> int:
     if args.out:
         save_report(args.out, report)
         print(f"wrote report to {args.out}")
+    return 0
+
+
+def run_fleet_diff(args) -> int:
+    """Run ``fleet diff``: compute or apply a ``repro-fleet-delta`` payload.
+
+    With ``--target``, computes the delta of target vs base (written to
+    ``--out`` when given, summarized either way).  With ``--delta``, applies
+    a previously computed delta on top of the base and writes the
+    reconstructed report to ``--out``.
+    """
+    from repro.io import (
+        apply_delta,
+        load_delta,
+        load_report,
+        save_delta,
+        save_report,
+    )
+
+    if (args.target is None) == (args.delta is None):
+        print(
+            "fleet diff needs exactly one of --target (compute a delta) or "
+            "--delta (apply one)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        base = load_report(args.base)
+        if args.target is not None:
+            target = load_report(args.target)
+            if args.out:
+                save_delta(args.out, base, target)
+                delta = load_delta(args.out)
+            else:
+                import io as _io
+
+                buffer = _io.BytesIO()
+                save_delta(buffer, base, target)
+                buffer.seek(0)
+                delta = load_delta(buffer)
+        else:
+            if not args.out:
+                print(
+                    "fleet diff --delta needs --out for the reconstructed "
+                    "report",
+                    file=sys.stderr,
+                )
+                return 2
+            delta = load_delta(args.delta)
+            report = apply_delta(base, delta)
+            save_report(args.out, report)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    modes = delta.modes
+    counts = {
+        mode: sum(1 for m in modes.values() if m == mode)
+        for mode in ("same", "patch", "full")
+    }
+    print(
+        f"delta over {len(modes)} sites: "
+        f"{counts['same']} same, {counts['patch']} patched, "
+        f"{counts['full']} full"
+    )
+    if args.target is not None and args.out:
+        print(f"wrote delta to {args.out}")
+    if args.delta is not None:
+        print(f"applied {args.delta} onto {args.base}; wrote {args.out}")
     return 0
 
 
@@ -1026,6 +1149,8 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             return run_fleet_export(args)
         if fleet_command == "run":
             return run_fleet_run(args)
+        if fleet_command == "diff":
+            return run_fleet_diff(args)
         return run_fleet(args)
 
     if args.command == "daemon":

@@ -14,6 +14,15 @@ journal, next to the jobs' NPZ payloads.  See :mod:`repro.io.wire` for the
 layout and guarantees, and ``docs/WIRE_FORMAT.md`` for the on-disk spec.
 """
 
+from repro.io.delta import (
+    DELTA_FORMAT,
+    DELTA_VERSION,
+    FleetDelta,
+    apply_delta,
+    load_delta,
+    report_fingerprint,
+    save_delta,
+)
 from repro.io.jobs import (
     JOB_STATES,
     JOURNAL_FORMAT,
@@ -51,6 +60,13 @@ __all__ = [
     "REPORT_FORMAT",
     "QUERIES_FORMAT",
     "ANSWERS_FORMAT",
+    "DELTA_FORMAT",
+    "DELTA_VERSION",
+    "FleetDelta",
+    "report_fingerprint",
+    "save_delta",
+    "load_delta",
+    "apply_delta",
     "save_requests",
     "load_requests",
     "requests_to_bytes",

@@ -41,7 +41,12 @@ from repro.core.self_augmented import SelfAugmentedConfig, SelfAugmentedResult
 from repro.core.updater import UpdaterConfig, UpdateResult
 from repro.fingerprint.matrix import FingerprintMatrix
 from repro.service.shard import ShardPlan
-from repro.service.types import FleetReport, UpdateReport, UpdateRequest
+from repro.service.types import (
+    FleetReport,
+    UpdateReport,
+    UpdateRequest,
+    WarmFactors,
+)
 
 __all__ = [
     "WIRE_VERSION",
@@ -215,6 +220,16 @@ def save_requests(
                 "reference_matrix": str(request.reference_matrix.dtype),
             },
         }
+        if request.warm_start is not None:
+            # Optional warm-start factors (absent pre-incremental payloads;
+            # read with .get, so wire version 1 stays backward compatible).
+            arrays[f"{key}__warm_left"] = request.warm_start.left
+            arrays[f"{key}__warm_right"] = request.warm_start.right
+            entry["warm_start"] = {
+                "objective": None
+                if request.warm_start.objective is None
+                else float(request.warm_start.objective),
+            }
         if request.correlation is not None:
             mic, lrr = request.correlation
             arrays[f"{key}__mic_matrix"] = mic.mic_matrix
@@ -268,6 +283,7 @@ def load_requests(path) -> List[UpdateRequest]:
             config_data = entry["config"]
             reference_indices = entry["reference_indices"]
             correlation_meta = entry.get("correlation")
+            warm_meta = entry.get("warm_start")
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(
                 f"corrupt site entry {index} in {path!r}: {exc}"
@@ -309,6 +325,13 @@ def load_requests(path) -> List[UpdateRequest]:
                         residual=float(lrr_meta["residual"]),
                     ),
                 )
+            warm = None
+            if warm_meta is not None:
+                warm = WarmFactors(
+                    left=_get_array(payload, f"{key}__warm_left", path),
+                    right=_get_array(payload, f"{key}__warm_right", path),
+                    objective=warm_meta.get("objective"),
+                )
             request = UpdateRequest(
                 site=site,
                 baseline=baseline,
@@ -325,6 +348,7 @@ def load_requests(path) -> List[UpdateRequest]:
                 config=_decode_config(config_data),
                 rng=None if rng is None else int(rng),
                 correlation=correlation,
+                warm_start=warm,
             )
         except (KeyError, TypeError) as exc:
             raise ValueError(
@@ -362,50 +386,126 @@ def requests_from_bytes(data: bytes) -> List[UpdateRequest]:
 
 
 # -------------------------------------------------------------------- reports
+def encode_site_report(site_report: UpdateReport) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """One site report as ``(manifest entry, array-name → array)``.
+
+    Array names are unprefixed (``estimate``, ``left``, ...); the caller
+    namespaces them per payload layout.  Shared between the full report
+    writer (:func:`save_report`) and the delta writer
+    (:func:`repro.io.delta.save_delta`), so both formats stay field-for-field
+    identical by construction.
+    """
+    result = site_report.result
+    solver = result.solver
+    matrix = result.matrix
+    arrays: Dict[str, np.ndarray] = {
+        "estimate": matrix.values,
+        "matrix_mask": matrix.index_matrix(),
+        "left": solver.left,
+        "right": solver.right,
+        "mic_matrix": result.mic.mic_matrix,
+    }
+    entry = {
+        "site": site_report.site,
+        "sweeps": int(site_report.sweeps),
+        "converged": bool(site_report.converged),
+        "solver_backend": site_report.solver_backend,
+        # Optional key (absent pre-incremental payloads; read with .get).
+        "warm_started": bool(site_report.warm_started),
+        "locations_per_link": int(matrix.locations_per_link),
+        "reference_indices": [int(i) for i in result.reference_indices],
+        "mic": {
+            "indices": [int(i) for i in result.mic.indices],
+            "rank": int(result.mic.rank),
+            "strategy": result.mic.strategy,
+        },
+        "solver": {
+            "objective": float(solver.objective),
+            "iterations": int(solver.iterations),
+            "converged": bool(solver.converged),
+            "reference_weight": float(solver.reference_weight),
+            "structure_weight": float(solver.structure_weight),
+        },
+    }
+    if result.lrr is not None:
+        arrays["lrr_correlation"] = result.lrr.correlation
+        arrays["lrr_error"] = result.lrr.error
+        entry["lrr"] = {
+            "iterations": int(result.lrr.iterations),
+            "converged": bool(result.lrr.converged),
+            "residual": float(result.lrr.residual),
+        }
+    else:
+        entry["lrr"] = None
+    return entry, arrays
+
+
+def decode_site_report(entry: dict, get_array) -> UpdateReport:
+    """Rebuild one :class:`UpdateReport` from its manifest entry.
+
+    ``get_array(name)`` resolves the unprefixed array names
+    :func:`encode_site_report` produced; raising ``KeyError``/``ValueError``
+    for missing entries is the caller's concern.
+    """
+    matrix = FingerprintMatrix(
+        values=get_array("estimate"),
+        locations_per_link=int(entry["locations_per_link"]),
+        no_decrease_mask=get_array("matrix_mask"),
+    )
+    solver_meta = entry["solver"]
+    solver = SelfAugmentedResult(
+        estimate=matrix.values,
+        left=get_array("left"),
+        right=get_array("right"),
+        objective=float(solver_meta["objective"]),
+        iterations=int(solver_meta["iterations"]),
+        converged=bool(solver_meta["converged"]),
+        reference_weight=float(solver_meta["reference_weight"]),
+        structure_weight=float(solver_meta["structure_weight"]),
+    )
+    mic_meta = entry["mic"]
+    mic = MICResult(
+        indices=tuple(int(i) for i in mic_meta["indices"]),
+        rank=int(mic_meta["rank"]),
+        mic_matrix=get_array("mic_matrix"),
+        strategy=str(mic_meta["strategy"]),
+    )
+    lrr = None
+    if entry["lrr"] is not None:
+        lrr_meta = entry["lrr"]
+        lrr = LRRResult(
+            correlation=get_array("lrr_correlation"),
+            error=get_array("lrr_error"),
+            iterations=int(lrr_meta["iterations"]),
+            converged=bool(lrr_meta["converged"]),
+            residual=float(lrr_meta["residual"]),
+        )
+    result = UpdateResult(
+        matrix=matrix,
+        reference_indices=tuple(int(i) for i in entry["reference_indices"]),
+        mic=mic,
+        lrr=lrr,
+        solver=solver,
+    )
+    return UpdateReport(
+        site=str(entry["site"]),
+        result=result,
+        sweeps=int(entry["sweeps"]),
+        converged=bool(entry["converged"]),
+        solver_backend=str(entry["solver_backend"]),
+        warm_started=bool(entry.get("warm_started", False)),
+    )
+
+
 def save_report(path, report: FleetReport) -> None:
     """Serialize one fleet refresh (per-site results + plan) to an NPZ payload."""
     arrays: Dict[str, np.ndarray] = {}
     site_entries: List[dict] = []
     for index, site_report in enumerate(report.reports):
         key = _site_key(index)
-        result = site_report.result
-        solver = result.solver
-        matrix = result.matrix
-        arrays[f"{key}__estimate"] = matrix.values
-        arrays[f"{key}__matrix_mask"] = matrix.index_matrix()
-        arrays[f"{key}__left"] = solver.left
-        arrays[f"{key}__right"] = solver.right
-        arrays[f"{key}__mic_matrix"] = result.mic.mic_matrix
-        entry = {
-            "site": site_report.site,
-            "sweeps": int(site_report.sweeps),
-            "converged": bool(site_report.converged),
-            "solver_backend": site_report.solver_backend,
-            "locations_per_link": int(matrix.locations_per_link),
-            "reference_indices": [int(i) for i in result.reference_indices],
-            "mic": {
-                "indices": [int(i) for i in result.mic.indices],
-                "rank": int(result.mic.rank),
-                "strategy": result.mic.strategy,
-            },
-            "solver": {
-                "objective": float(solver.objective),
-                "iterations": int(solver.iterations),
-                "converged": bool(solver.converged),
-                "reference_weight": float(solver.reference_weight),
-                "structure_weight": float(solver.structure_weight),
-            },
-        }
-        if result.lrr is not None:
-            arrays[f"{key}__lrr_correlation"] = result.lrr.correlation
-            arrays[f"{key}__lrr_error"] = result.lrr.error
-            entry["lrr"] = {
-                "iterations": int(result.lrr.iterations),
-                "converged": bool(result.lrr.converged),
-                "residual": float(result.lrr.residual),
-            }
-        else:
-            entry["lrr"] = None
+        entry, site_arrays = encode_site_report(site_report)
+        for name, array in site_arrays.items():
+            arrays[f"{key}__{name}"] = array
         site_entries.append(entry)
 
     manifest = {
@@ -421,6 +521,7 @@ def save_report(path, report: FleetReport) -> None:
         # wire version 1 stays backward compatible — see docs/WIRE_FORMAT.md).
         "executor": None if report.executor is None else str(report.executor),
         "workers": int(report.workers),
+        "sweeps_saved": {k: int(v) for k, v in report.sweeps_saved.items()},
         "sites": site_entries,
     }
     _write_payload(path, manifest, arrays)
@@ -442,53 +543,10 @@ def load_report(path) -> FleetReport:
     for index, entry in enumerate(sites):
         key = _site_key(index)
         try:
-            matrix = FingerprintMatrix(
-                values=_get_array(payload, f"{key}__estimate", path),
-                locations_per_link=int(entry["locations_per_link"]),
-                no_decrease_mask=_get_array(payload, f"{key}__matrix_mask", path),
-            )
-            solver_meta = entry["solver"]
-            solver = SelfAugmentedResult(
-                estimate=matrix.values,
-                left=_get_array(payload, f"{key}__left", path),
-                right=_get_array(payload, f"{key}__right", path),
-                objective=float(solver_meta["objective"]),
-                iterations=int(solver_meta["iterations"]),
-                converged=bool(solver_meta["converged"]),
-                reference_weight=float(solver_meta["reference_weight"]),
-                structure_weight=float(solver_meta["structure_weight"]),
-            )
-            mic_meta = entry["mic"]
-            mic = MICResult(
-                indices=tuple(int(i) for i in mic_meta["indices"]),
-                rank=int(mic_meta["rank"]),
-                mic_matrix=_get_array(payload, f"{key}__mic_matrix", path),
-                strategy=str(mic_meta["strategy"]),
-            )
-            lrr = None
-            if entry["lrr"] is not None:
-                lrr_meta = entry["lrr"]
-                lrr = LRRResult(
-                    correlation=_get_array(payload, f"{key}__lrr_correlation", path),
-                    error=_get_array(payload, f"{key}__lrr_error", path),
-                    iterations=int(lrr_meta["iterations"]),
-                    converged=bool(lrr_meta["converged"]),
-                    residual=float(lrr_meta["residual"]),
-                )
-            result = UpdateResult(
-                matrix=matrix,
-                reference_indices=tuple(int(i) for i in entry["reference_indices"]),
-                mic=mic,
-                lrr=lrr,
-                solver=solver,
-            )
             reports.append(
-                UpdateReport(
-                    site=str(entry["site"]),
-                    result=result,
-                    sweeps=int(entry["sweeps"]),
-                    converged=bool(entry["converged"]),
-                    solver_backend=str(entry["solver_backend"]),
+                decode_site_report(
+                    entry,
+                    lambda name: _get_array(payload, f"{key}__{name}", path),
                 )
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -509,4 +567,8 @@ def load_report(path) -> FleetReport:
         plan=None if plan_data is None else ShardPlan.from_json(plan_data),
         executor=None if executor is None else str(executor),
         workers=int(manifest.get("workers") or 0),
+        sweeps_saved={
+            str(k): int(v)
+            for k, v in (manifest.get("sweeps_saved") or {}).items()
+        },
     )

@@ -46,12 +46,18 @@ from repro.service.shard import (
     plan_shards,
 )
 from repro.service.synthetic import synthesize_fleet
-from repro.service.types import FleetReport, UpdateReport, UpdateRequest
+from repro.service.types import (
+    FleetReport,
+    UpdateReport,
+    UpdateRequest,
+    WarmFactors,
+)
 
 __all__ = [
     "UpdateRequest",
     "UpdateReport",
     "FleetReport",
+    "WarmFactors",
     "UpdateService",
     "FleetCampaign",
     "FleetConfig",

@@ -155,15 +155,19 @@ class FleetCampaign:
         elapsed_days: float,
         shards: Union[ShardConfig, int, None] = None,
         executor: Union["ShardExecutor", str, None] = None,
+        warm_from: Optional[FleetReport] = None,
     ) -> FleetReport:
         """Refresh every site's database at ``elapsed_days`` in one stacked solve.
 
-        ``shards`` and ``executor`` are forwarded to
-        :meth:`UpdateService.update_fleet`; the executed plan and the
-        executor choice are recorded on the returned :class:`FleetReport`.
+        ``shards``, ``executor`` and ``warm_from`` are forwarded to
+        :meth:`UpdateService.update_fleet`; the executed plan, the executor
+        choice and the per-site sweeps a warm start saved are recorded on
+        the returned :class:`FleetReport`.
         """
         requests = self.build_requests(elapsed_days)
-        reports = self.service.update_fleet(requests, shards=shards, executor=executor)
+        reports = self.service.update_fleet(
+            requests, shards=shards, executor=executor, warm_from=warm_from
+        )
         errors: Dict[str, float] = {}
         stale: Dict[str, float] = {}
         for report in reports:
@@ -187,6 +191,7 @@ class FleetCampaign:
             plan=self.service.last_plan,
             executor=None if backend is None else backend.name,
             workers=0 if backend is None else backend.workers,
+            sweeps_saved=self.service.last_sweeps_saved,
         )
 
     def refresh_all(self) -> Dict[float, FleetReport]:

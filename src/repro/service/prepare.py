@@ -70,6 +70,7 @@ class PreparedSite:
             sweeps=solver_result.iterations,
             converged=solver_result.converged,
             solver_backend=self.backend,
+            warm_started=self.state.warm_started,
         )
 
 
@@ -124,6 +125,12 @@ def prepare_request(request: UpdateRequest) -> PreparedSite:
         config=config.resolved_solver(),
         rng=request.rng,
     )
+    if request.warm_start is not None:
+        state.warm_start(
+            request.warm_start.left,
+            request.warm_start.right,
+            request.warm_start.objective,
+        )
     return PreparedSite(
         request=request,
         mic=mic,

@@ -50,7 +50,8 @@ stacked solve; the service runs them through the same reference path
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.self_augmented import solve_state
 from repro.core.stacked import sweep_stack_nbytes
@@ -62,7 +63,12 @@ from repro.service.shard import (
     plan_shards,
     resolve_shard_config,
 )
-from repro.service.types import UpdateReport, UpdateRequest
+from repro.service.types import (
+    FleetReport,
+    UpdateReport,
+    UpdateRequest,
+    WarmFactors,
+)
 
 __all__ = ["UpdateService"]
 
@@ -74,6 +80,7 @@ class UpdateService:
         self._last_stacked_sweeps = 0
         self._last_plan: Optional[ShardPlan] = None
         self._last_executor: Optional[ShardExecutor] = None
+        self._last_sweeps_saved: Dict[str, int] = {}
 
     @property
     def last_stacked_sweeps(self) -> int:
@@ -96,6 +103,16 @@ class UpdateService:
         """The execution backend the most recent :meth:`update_fleet` used."""
         return self._last_executor
 
+    @property
+    def last_sweeps_saved(self) -> Dict[str, int]:
+        """Per-site sweeps the most recent warm-started refresh saved.
+
+        ``previous generation's sweeps - this refresh's sweeps`` for every
+        site that warm-started from a ``warm_from`` report; empty for cold
+        refreshes.
+        """
+        return dict(self._last_sweeps_saved)
+
     def update(self, request: UpdateRequest) -> UpdateReport:
         """Refresh a single site (a one-request fleet)."""
         return self.update_fleet([request])[0]
@@ -105,6 +122,7 @@ class UpdateService:
         requests: Sequence[UpdateRequest],
         shards: Union[ShardConfig, int, None] = None,
         executor: Union[ShardExecutor, str, None] = None,
+        warm_from: Optional[FleetReport] = None,
     ) -> List[UpdateReport]:
         """Refresh every requested site through the prepare/plan/execute pipeline.
 
@@ -125,6 +143,13 @@ class UpdateService:
             :class:`~repro.service.executor.ProcessExecutor` scatters shards
             over worker processes.  Results are bit-identical either way
             (``ProcessExecutor`` requires integer request seeds).
+        warm_from:
+            Previous generation's :class:`~repro.service.types.FleetReport`.
+            Sites present in it (with matching shapes and rank) resume from
+            its factors instead of a cold init; sites it does not cover —
+            or whose geometry changed — fall back to the cold path
+            unchanged.  Per-site sweeps saved land in
+            :attr:`last_sweeps_saved`.
 
         Returns the per-site reports in request order; any shard split and
         any executor backend yields bit-identical per-site results.
@@ -137,10 +162,15 @@ class UpdateService:
             self._last_stacked_sweeps = 0
             self._last_plan = None
             self._last_executor = backend
+            self._last_sweeps_saved = {}
             return []
         sites = [request.site for request in requests]
         if len(set(sites)) != len(sites):
             raise ValueError(f"duplicate site identifiers in fleet request: {sites}")
+        if warm_from is not None:
+            requests = [
+                self._warm_request(request, warm_from) for request in requests
+            ]
 
         prepared = [self._prepare(request) for request in requests]
         plan = self._plan(prepared, resolve_shard_config(shards))
@@ -158,12 +188,56 @@ class UpdateService:
                 reports.append(site.report(solver_results[index]))
             else:
                 reports.append(site.report(solve_state(site.state)))
+
+        self._last_sweeps_saved = {}
+        if warm_from is not None:
+            for report in reports:
+                if not report.warm_started:
+                    continue
+                try:
+                    previous = warm_from.report_for(report.site)
+                except KeyError:
+                    continue
+                self._last_sweeps_saved[report.site] = (
+                    previous.sweeps - report.sweeps
+                )
         return reports
 
     # ------------------------------------------------------------ preparation
     def _prepare(self, request: UpdateRequest) -> PreparedSite:
         """Stage one site's solve (see :func:`repro.service.prepare.prepare_request`)."""
         return prepare_request(request)
+
+    def _warm_request(
+        self, request: UpdateRequest, warm_from: FleetReport
+    ) -> UpdateRequest:
+        """Attach the previous generation's factors to one site's request.
+
+        Falls back to the cold request untouched when the site is absent
+        from the previous report, already carries explicit warm factors, or
+        the previous factors no longer fit the request's geometry (shape or
+        resolved rank changed between generations).
+        """
+        if request.warm_start is not None:
+            return request
+        try:
+            previous = warm_from.report_for(request.site)
+        except KeyError:
+            return request
+        solver = previous.result.solver
+        m, n = request.baseline.shape
+        cfg = request.config.resolved_solver()
+        rank = min(cfg.rank if cfg.rank is not None else m, m, n)
+        if solver.left.shape != (m, rank) or solver.right.shape != (n, rank):
+            return request
+        return replace(
+            request,
+            warm_start=WarmFactors(
+                left=solver.left,
+                right=solver.right,
+                objective=solver.objective,
+            ),
+        )
 
     # --------------------------------------------------------------- planning
     def _plan(

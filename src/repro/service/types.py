@@ -29,7 +29,38 @@ from repro.service.shard import ShardPlan
 from repro.utils.random import RngLike
 from repro.utils.validation import check_2d, check_matching_shapes
 
-__all__ = ["UpdateRequest", "UpdateReport", "FleetReport"]
+__all__ = ["WarmFactors", "UpdateRequest", "UpdateReport", "FleetReport"]
+
+
+@dataclass(frozen=True)
+class WarmFactors:
+    """Previous-generation factors a site's solve resumes from.
+
+    Attributes
+    ----------
+    left, right:
+        The ``L`` (``M x r``) / ``R`` (``N x r``) factors of the previous
+        refresh, fed to :meth:`~repro.core.self_augmented.SweepState.warm_start`.
+    objective:
+        The previous generation's final objective.  When given, a refresh
+        whose data has not drifted past the solver tolerance converges with
+        zero sweeps and reproduces the factors bit for bit.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    objective: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left", check_2d(self.left, "left"))
+        object.__setattr__(self, "right", check_2d(self.right, "right"))
+        if self.left.shape[1] != self.right.shape[1]:
+            raise ValueError(
+                f"warm factors disagree on rank: left is {self.left.shape}, "
+                f"right is {self.right.shape}"
+            )
+        if self.objective is not None:
+            object.__setattr__(self, "objective", float(self.objective))
 
 
 @dataclass
@@ -60,6 +91,12 @@ class UpdateRequest:
         already ran Inherent Correlation Acquisition (e.g. the
         :class:`~repro.core.updater.IUpdater` shim or a repeated campaign)
         do not pay for it again.
+    warm_start:
+        Optional :class:`WarmFactors` from the site's previous refresh.
+        Carried on the request (rather than service state) so the factors
+        ride the scatter wire and every executor backend — including worker
+        processes that rehydrate the request from bytes — warm-starts
+        identically.
     """
 
     site: str
@@ -71,6 +108,7 @@ class UpdateRequest:
     config: UpdaterConfig = field(default_factory=UpdaterConfig)
     rng: RngLike = None
     correlation: Optional[Tuple[MICResult, LRRResult]] = None
+    warm_start: Optional[WarmFactors] = None
 
     def __post_init__(self) -> None:
         if not self.site:
@@ -104,6 +142,17 @@ class UpdateRequest:
                 raise ValueError(
                     "reference_matrix must have one column per reference index"
                 )
+        if self.warm_start is not None:
+            m, n = self.baseline.shape
+            if (
+                self.warm_start.left.shape[0] != m
+                or self.warm_start.right.shape[0] != n
+            ):
+                raise ValueError(
+                    f"warm_start factors {self.warm_start.left.shape} / "
+                    f"{self.warm_start.right.shape} do not match the "
+                    f"baseline {self.baseline.shape}"
+                )
 
 
 @dataclass(frozen=True)
@@ -124,6 +173,9 @@ class UpdateReport:
     solver_backend:
         Which ALS backend produced the result (``"batched"`` sites ride the
         fleet-stacked solve; ``"looped"`` sites run the reference path).
+    warm_started:
+        Whether this site's solve resumed from a previous generation's
+        factors instead of a cold init.
     """
 
     site: str
@@ -131,6 +183,7 @@ class UpdateReport:
     sweeps: int
     converged: bool
     solver_backend: str
+    warm_started: bool = False
 
     @property
     def matrix(self) -> FingerprintMatrix:
@@ -180,6 +233,10 @@ class FleetReport:
         Worker processes the executor fanned shards out to (0 for
         in-process execution).  Purely bookkeeping: results are
         bit-identical for any worker count.
+    sweeps_saved:
+        Per-site sweeps the warm start saved versus the previous
+        generation's cold count (``prev sweeps - this refresh's sweeps``),
+        recorded only for warm-started sites.
     """
 
     elapsed_days: float
@@ -190,6 +247,7 @@ class FleetReport:
     plan: Optional[ShardPlan] = None
     executor: Optional[str] = None
     workers: int = 0
+    sweeps_saved: Dict[str, int] = field(default_factory=dict)
 
     @property
     def sites(self) -> Tuple[str, ...]:
@@ -224,6 +282,11 @@ class FleetReport:
             "stacked_sweeps": float(self.stacked_sweeps),
             "converged_sites": float(sum(r.converged for r in self.reports)),
         }
+        warm_sites = sum(r.warm_started for r in self.reports)
+        if warm_sites:
+            summary["warm_sites"] = float(warm_sites)
+        if self.sweeps_saved:
+            summary["sweeps_saved"] = float(sum(self.sweeps_saved.values()))
         if self.plan is not None:
             summary["shards"] = float(self.plan.shard_count)
             summary["peak_stack_bytes"] = float(self.plan.peak_stack_bytes)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.self_augmented import SelfAugmentedConfig, self_augmented_rsvd
+from repro.core.self_augmented import (
+    SelfAugmentedConfig,
+    SweepState,
+    self_augmented_rsvd,
+    solve_state,
+)
 
 
 def make_problem(rng, links=4, width=6, drift=2.0):
@@ -144,3 +149,166 @@ class TestSolver:
         truth, observed, mask = make_problem(rng)
         with pytest.raises(ValueError):
             self_augmented_rsvd(observed, mask * 0.5, 6)
+
+    def test_all_zero_observed_rejected(self, rng):
+        truth, observed, mask = make_problem(rng)
+        with pytest.raises(ValueError, match="entirely zero"):
+            SweepState(np.zeros_like(observed), mask, 6)
+
+
+class TestWarmStart:
+    def solve(self, observed, mask, prediction, **kwargs):
+        state = SweepState(observed, mask, 6, prediction=prediction, **kwargs)
+        return state, solve_state(state)
+
+    def test_unchanged_data_converges_in_zero_sweeps_bit_identical(self, rng):
+        truth, observed, mask = make_problem(rng)
+        prediction = truth + rng.normal(0.0, 0.3, size=truth.shape)
+        cold_state, cold = self.solve(observed, mask, prediction, rng=7)
+        left, right, objective = cold_state.export_factors()
+
+        warm_state = SweepState(observed, mask, 6, prediction=prediction, rng=7)
+        converged = warm_state.warm_start(left, right, objective)
+        assert converged and warm_state.converged
+        assert warm_state.warm_started
+        warm = solve_state(warm_state)
+        assert warm.iterations == 0
+        np.testing.assert_array_equal(warm.estimate, cold.estimate)
+        np.testing.assert_array_equal(warm.left, cold.left)
+        np.testing.assert_array_equal(warm.right, cold.right)
+
+    def test_small_drift_converges_in_fewer_sweeps(self, rng):
+        truth, observed, mask = make_problem(rng)
+        prediction = truth + rng.normal(0.0, 0.3, size=truth.shape)
+        config = SelfAugmentedConfig(tolerance=1e-4)
+        cold_state, cold = self.solve(
+            observed, mask, prediction, config=config, rng=7
+        )
+        left, right, objective = cold_state.export_factors()
+
+        drifted = observed + 1e-4 * mask * rng.normal(size=observed.shape)
+        recold = self_augmented_rsvd(
+            drifted, mask, 6, prediction=prediction, config=config, rng=7
+        )
+        warm_state = SweepState(
+            drifted, mask, 6, prediction=prediction, config=config, rng=7
+        )
+        warm_state.warm_start(left, right, objective)
+        warm = solve_state(warm_state)
+        assert warm.iterations <= 1
+        assert warm.iterations < recold.iterations
+
+    def test_without_objective_needs_at_least_one_sweep(self, rng):
+        truth, observed, mask = make_problem(rng)
+        prediction = truth + rng.normal(0.0, 0.3, size=truth.shape)
+        config = SelfAugmentedConfig(tolerance=1e-3, max_iterations=200)
+        state, result = self.solve(
+            observed, mask, prediction, config=config, rng=7
+        )
+        assert result.converged
+        left, right, _ = state.export_factors()
+        warm_state = SweepState(
+            observed, mask, 6, prediction=prediction, config=config, rng=7
+        )
+        converged = warm_state.warm_start(left, right)
+        assert not converged
+        warm = solve_state(warm_state)
+        # The warm objective seeds previous_objective, so the first sweep's
+        # relative change is already below tolerance.
+        assert warm.iterations == 1
+
+    def test_factors_are_copied_in_and_out(self, rng):
+        truth, observed, mask = make_problem(rng)
+        state, _ = self.solve(observed, mask, None, rng=7)
+        left, right, objective = state.export_factors()
+        assert left is not state.left and right is not state.right
+        other = SweepState(observed, mask, 6, rng=7)
+        other.warm_start(left, right, objective)
+        left[:] = 0.0
+        assert np.any(other.left)
+
+    def test_shape_mismatch_rejected(self, rng):
+        truth, observed, mask = make_problem(rng)
+        state = SweepState(observed, mask, 6, rng=7)
+        good_left = np.zeros((state.m, state.rank))
+        good_right = np.zeros((state.n, state.rank))
+        with pytest.raises(ValueError, match="left factor"):
+            state.warm_start(good_left[:-1], good_right)
+        with pytest.raises(ValueError, match="right factor"):
+            state.warm_start(good_left, good_right[:, :-1])
+
+    def test_mismatched_objective_does_not_converge(self, rng):
+        truth, observed, mask = make_problem(rng)
+        state, _ = self.solve(observed, mask, None, rng=7)
+        left, right, objective = state.export_factors()
+        drifted = observed + mask * rng.normal(size=observed.shape)
+        warm_state = SweepState(drifted, mask, 6, rng=7)
+        assert not warm_state.warm_start(left, right, objective)
+        assert not warm_state.converged
+
+
+class TestSvdInit:
+    def test_invalid_init_rejected(self):
+        with pytest.raises(ValueError, match="init must be"):
+            SelfAugmentedConfig(init="qr")
+
+    def test_svd_init_deterministic_truncated(self, rng):
+        truth, observed, mask = make_problem(rng)
+        config = SelfAugmentedConfig(init="svd", rank=2)  # k < min(m, n): svds path
+        a = self_augmented_rsvd(observed, mask, 6, prediction=truth, config=config, rng=3)
+        b = self_augmented_rsvd(observed, mask, 6, prediction=truth, config=config, rng=3)
+        np.testing.assert_array_equal(a.estimate, b.estimate)
+
+    def test_svd_init_deterministic_full_rank(self, rng):
+        truth, observed, mask = make_problem(rng)
+        config = SelfAugmentedConfig(init="svd")  # full rank: dense LAPACK path
+        a = self_augmented_rsvd(observed, mask, 6, prediction=truth, config=config, rng=3)
+        b = self_augmented_rsvd(observed, mask, 6, prediction=truth, config=config, rng=3)
+        np.testing.assert_array_equal(a.estimate, b.estimate)
+
+    def test_svd_init_factors_on_data_scale(self, rng):
+        truth, observed, mask = make_problem(rng)
+        state = SweepState(
+            observed,
+            mask,
+            6,
+            config=SelfAugmentedConfig(init="svd", rank=2),
+            rng=3,
+        )
+        # L0 = U sqrt(S): its Gram recovers the leading singular values.
+        gram = state.left.T @ state.left
+        s = np.linalg.svd(mask * observed, compute_uv=False)
+        np.testing.assert_allclose(np.sort(np.diag(gram))[::-1], s[:2], rtol=1e-6)
+
+    def test_svd_init_reaches_same_quality_as_random(self, rng):
+        truth, observed, mask = make_problem(rng)
+        prediction = truth + rng.normal(0.0, 0.3, size=truth.shape)
+        random_result = self_augmented_rsvd(
+            observed, mask, 6, prediction=prediction, rng=3
+        )
+        svd_result = self_augmented_rsvd(
+            observed,
+            mask,
+            6,
+            prediction=prediction,
+            config=SelfAugmentedConfig(init="svd"),
+            rng=3,
+        )
+        random_error = np.abs(random_result.estimate - truth).mean()
+        svd_error = np.abs(svd_result.estimate - truth).mean()
+        assert abs(svd_error - random_error) < 0.5
+
+    def test_random_init_unchanged_by_default(self, rng):
+        # The cold random path must stay bit-pinned: explicit init="random"
+        # and the default are the same code path.
+        truth, observed, mask = make_problem(rng)
+        default = self_augmented_rsvd(observed, mask, 6, prediction=truth, rng=3)
+        explicit = self_augmented_rsvd(
+            observed,
+            mask,
+            6,
+            prediction=truth,
+            config=SelfAugmentedConfig(init="random"),
+            rng=3,
+        )
+        np.testing.assert_array_equal(default.estimate, explicit.estimate)

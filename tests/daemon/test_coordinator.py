@@ -212,6 +212,73 @@ class TestRunnersSeam:
             coordinator.drain(timeout=30.0)
 
 
+class TestWarmRefresh:
+    """ISSUE 9: consecutive refreshes of the same fleet warm-start
+    automatically from the coordinator's last published report."""
+
+    def test_second_refresh_warm_starts_from_first(
+        self, tmp_path, fleet_payload
+    ):
+        coordinator = Coordinator(tmp_path / "spool", config=serial_config())
+        coordinator.start()
+        try:
+            first = coordinator.submit(REFRESH_FLEET, fleet_payload)
+            assert coordinator.wait(first.id, timeout=120.0).state == "done"
+            second = coordinator.submit(REFRESH_FLEET, fleet_payload)
+            assert coordinator.wait(second.id, timeout=120.0).state == "done"
+
+            cold = load_report(coordinator.result_path(first.id))
+            warm = load_report(coordinator.result_path(second.id))
+            assert not any(r.warm_started for r in cold.reports)
+            assert all(r.warm_started for r in warm.reports)
+            assert sum(r.sweeps for r in warm.reports) == 0
+            assert warm.sweeps_saved == {
+                r.site: r.sweeps for r in cold.reports
+            }
+            # Identical data: the warm generation is the cold one, bit
+            # for bit.
+            for ours, theirs in zip(warm.reports, cold.reports):
+                np.testing.assert_array_equal(ours.estimate, theirs.estimate)
+        finally:
+            coordinator.drain(timeout=30.0)
+
+    def test_warm_refresh_disabled_stays_cold(self, tmp_path, fleet_payload):
+        coordinator = Coordinator(
+            tmp_path / "spool", config=serial_config(warm_refresh=False)
+        )
+        coordinator.start()
+        try:
+            first = coordinator.submit(REFRESH_FLEET, fleet_payload)
+            assert coordinator.wait(first.id, timeout=120.0).state == "done"
+            second = coordinator.submit(REFRESH_FLEET, fleet_payload)
+            assert coordinator.wait(second.id, timeout=120.0).state == "done"
+            warm = load_report(coordinator.result_path(second.id))
+            assert not any(r.warm_started for r in warm.reports)
+            assert warm.sweeps_saved == {}
+        finally:
+            coordinator.drain(timeout=30.0)
+
+    def test_warm_cache_survives_for_matching_fleets_only(
+        self, tmp_path, fleet_payload, daemon_fleet_requests
+    ):
+        from repro.io import save_requests
+
+        # A different fleet (subset of sites) must not inherit the cache.
+        subset_path = tmp_path / "subset.npz"
+        save_requests(subset_path, daemon_fleet_requests[:3], elapsed_days=30.0)
+        coordinator = Coordinator(tmp_path / "spool", config=serial_config())
+        coordinator.start()
+        try:
+            first = coordinator.submit(REFRESH_FLEET, fleet_payload)
+            assert coordinator.wait(first.id, timeout=120.0).state == "done"
+            subset = coordinator.submit(REFRESH_FLEET, subset_path)
+            assert coordinator.wait(subset.id, timeout=120.0).state == "done"
+            report = load_report(coordinator.result_path(subset.id))
+            assert not any(r.warm_started for r in report.reports)
+        finally:
+            coordinator.drain(timeout=30.0)
+
+
 class TestCrashRecovery:
     """ISSUE 8 satellite: kill mid-queue, restart, run exactly once."""
 

@@ -188,6 +188,17 @@ class TestWorkerPayloadPath:
         reports = UpdateService().update_fleet([request])
         assert reports[0].site == request.site
 
+    def test_seed_error_names_offending_site(self, fleet_requests):
+        """ISSUE 9 satellite: the non-integer-seed error must say *which*
+        site cannot be scattered, not just that one exists."""
+        from dataclasses import replace
+
+        request = replace(
+            fleet_requests[0], rng=np.random.default_rng(1), site="flaky-site"
+        )
+        with pytest.raises(ValueError, match="flaky-site"):
+            UpdateService().update_fleet([request], executor=ProcessExecutor(1))
+
 
 class TestWorkerFailureContext:
     """ISSUE 8 satellite: worker-side failures must name the shard's sites."""

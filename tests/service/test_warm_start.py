@@ -1,0 +1,242 @@
+"""Warm-started fleet refreshes: ``update_fleet(..., warm_from=...)``.
+
+Covers the service-level warm-start seam end to end: unchanged fleets
+converging without sweeps bit for bit, the per-site ``sweeps_saved``
+accounting, cold fallbacks when the previous report cannot seed a site,
+parity between the serial and process executors, and the wire round-trip
+of warm factors on requests and ``warm_started`` / ``sweeps_saved`` on
+reports.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.self_augmented import SelfAugmentedConfig
+from repro.core.updater import UpdaterConfig
+from repro.io.wire import load_report, load_requests, save_report, save_requests
+from repro.service.executor import ProcessExecutor
+from repro.service.service import UpdateService
+from repro.service.synthetic import synthesize_fleet
+from repro.service.types import FleetReport, WarmFactors
+
+
+@pytest.fixture(scope="module")
+def base_generation():
+    """A small fleet plus its cold refresh (the previous generation)."""
+    requests = synthesize_fleet(
+        4,
+        elapsed_days=45.0,
+        seed=11,
+        link_count=3,
+        locations_per_link=4,
+        updater=UpdaterConfig(
+            solver=SelfAugmentedConfig(max_iterations=60, tolerance=1e-4)
+        ),
+    )
+    service = UpdateService()
+    reports = service.update_fleet(requests)
+    report = FleetReport(elapsed_days=45.0, reports=tuple(reports))
+    return requests, report
+
+
+class TestWarmFrom:
+    def test_unchanged_fleet_converges_without_sweeps_bit_identical(
+        self, base_generation
+    ):
+        requests, base = base_generation
+        service = UpdateService()
+        warm = service.update_fleet(requests, warm_from=base)
+        for previous, report in zip(base.reports, warm):
+            assert report.warm_started
+            assert report.sweeps == 0
+            np.testing.assert_array_equal(previous.estimate, report.estimate)
+            np.testing.assert_array_equal(
+                previous.result.solver.left, report.result.solver.left
+            )
+            np.testing.assert_array_equal(
+                previous.result.solver.right, report.result.solver.right
+            )
+
+    def test_sweeps_saved_recorded_per_site(self, base_generation):
+        requests, base = base_generation
+        service = UpdateService()
+        service.update_fleet(requests, warm_from=base)
+        saved = service.last_sweeps_saved
+        assert saved == {r.site: r.sweeps for r in base.reports}
+        assert all(v > 0 for v in saved.values())
+
+    def test_cold_run_resets_sweeps_saved(self, base_generation):
+        requests, base = base_generation
+        service = UpdateService()
+        service.update_fleet(requests, warm_from=base)
+        assert service.last_sweeps_saved
+        service.update_fleet(requests)
+        assert service.last_sweeps_saved == {}
+
+    def test_cold_reports_not_warm_started(self, base_generation):
+        requests, base = base_generation
+        assert not any(r.warm_started for r in base.reports)
+
+    def test_missing_site_falls_back_to_cold(self, base_generation):
+        requests, base = base_generation
+        shrunken = replace(base, reports=base.reports[1:])
+        service = UpdateService()
+        reports = service.update_fleet(requests, warm_from=shrunken)
+        assert not reports[0].warm_started
+        assert reports[0].sweeps > 0
+        assert all(r.warm_started for r in reports[1:])
+        assert requests[0].site not in service.last_sweeps_saved
+
+    def test_explicit_warm_start_on_request_wins(self, base_generation):
+        requests, base = base_generation
+        previous = base.reports[0].result.solver
+        explicit = replace(
+            requests[0],
+            warm_start=WarmFactors(
+                left=previous.left,
+                right=previous.right,
+                objective=previous.objective,
+            ),
+        )
+        service = UpdateService()
+        reports = service.update_fleet([explicit], warm_from=base)
+        assert reports[0].warm_started
+        assert reports[0].sweeps == 0
+
+    def test_warm_parity_serial_vs_process(self, base_generation):
+        requests, base = base_generation
+        serial = UpdateService().update_fleet(requests, warm_from=base)
+        scattered = UpdateService().update_fleet(
+            requests,
+            shards=2,
+            executor=ProcessExecutor(max_workers=2),
+            warm_from=base,
+        )
+        for a, b in zip(serial, scattered):
+            assert a.warm_started == b.warm_started
+            assert a.sweeps == b.sweeps == 0
+            np.testing.assert_array_equal(a.estimate, b.estimate)
+
+    def test_fleet_report_aggregate_counts_warm_sites(self, base_generation):
+        requests, base = base_generation
+        service = UpdateService()
+        reports = service.update_fleet(requests, warm_from=base)
+        warm_report = FleetReport(
+            elapsed_days=45.0,
+            reports=tuple(reports),
+            sweeps_saved=service.last_sweeps_saved,
+        )
+        summary = warm_report.aggregate()
+        assert summary["warm_sites"] == len(requests)
+        assert summary["sweeps_saved"] == sum(
+            service.last_sweeps_saved.values()
+        )
+
+
+class TestWarmStartWire:
+    def test_requests_round_trip_warm_factors(self, base_generation, tmp_path):
+        requests, base = base_generation
+        previous = base.reports[0].result.solver
+        warmed = replace(
+            requests[0],
+            warm_start=WarmFactors(
+                left=previous.left,
+                right=previous.right,
+                objective=previous.objective,
+            ),
+        )
+        path = tmp_path / "requests.npz"
+        save_requests(path, [warmed, requests[1]])
+        loaded = load_requests(path)
+        assert loaded[0].warm_start is not None
+        np.testing.assert_array_equal(loaded[0].warm_start.left, previous.left)
+        np.testing.assert_array_equal(
+            loaded[0].warm_start.right, previous.right
+        )
+        assert loaded[0].warm_start.objective == previous.objective
+        assert loaded[1].warm_start is None
+
+    def test_loaded_requests_warm_start_equivalently(
+        self, base_generation, tmp_path
+    ):
+        requests, base = base_generation
+        service = UpdateService()
+        warmed = [
+            service._warm_request(request, base) for request in requests
+        ]
+        path = tmp_path / "requests.npz"
+        save_requests(path, warmed)
+        reports = UpdateService().update_fleet(load_requests(path))
+        for previous, report in zip(base.reports, reports):
+            assert report.warm_started
+            assert report.sweeps == 0
+            np.testing.assert_array_equal(previous.estimate, report.estimate)
+
+    def test_report_round_trips_warm_metadata(self, base_generation, tmp_path):
+        requests, base = base_generation
+        service = UpdateService()
+        reports = service.update_fleet(requests, warm_from=base)
+        warm_report = FleetReport(
+            elapsed_days=45.0,
+            reports=tuple(reports),
+            sweeps_saved=service.last_sweeps_saved,
+        )
+        path = tmp_path / "report.npz"
+        save_report(path, warm_report)
+        loaded = load_report(path)
+        assert loaded.sweeps_saved == service.last_sweeps_saved
+        assert all(r.warm_started for r in loaded.reports)
+        for a, b in zip(warm_report.reports, loaded.reports):
+            np.testing.assert_array_equal(a.estimate, b.estimate)
+
+    def test_pre_delta_report_loads_cold(self, base_generation, tmp_path):
+        # Reports written before the warm-start keys existed (no
+        # warm_started / sweeps_saved) must load with cold defaults.
+        requests, base = base_generation
+        path = tmp_path / "report.npz"
+        save_report(path, base)
+        loaded = load_report(path)
+        assert loaded.sweeps_saved == {}
+        assert not any(r.warm_started for r in loaded.reports)
+
+
+class TestWarmFactorsValidation:
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rank"):
+            WarmFactors(left=np.zeros((3, 2)), right=np.zeros((12, 3)))
+
+    def test_request_shape_mismatch_rejected(self, base_generation):
+        requests, base = base_generation
+        m, n = requests[0].baseline.shape
+        with pytest.raises(ValueError):
+            replace(
+                requests[0],
+                warm_start=WarmFactors(
+                    left=np.zeros((m + 1, m)), right=np.zeros((n, m))
+                ),
+            )
+
+    def test_shape_mismatched_previous_factors_fall_back_to_cold(
+        self, base_generation
+    ):
+        requests, base = base_generation
+        # Wreck one site's previous factors so _warm_request must skip it.
+        first = base.reports[0]
+        solver = first.result.solver
+        broken_solver = replace(
+            solver,
+            left=solver.left[:, :1],
+            right=solver.right[:, :1],
+        )
+        broken_report = replace(
+            first, result=replace(first.result, solver=broken_solver)
+        )
+        broken = replace(
+            base, reports=(broken_report,) + base.reports[1:]
+        )
+        service = UpdateService()
+        reports = service.update_fleet(requests, warm_from=broken)
+        assert not reports[0].warm_started
+        assert all(r.warm_started for r in reports[1:])

@@ -164,6 +164,62 @@ class TestDaemonDocsSync:
         assert "DaemonClient" in text
 
 
+class TestIncrementalDocsSync:
+    def test_warm_start_api_documented(self):
+        """The warm-start seam must appear in API.md with its real names."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for name in (
+            "warm_from",
+            "WarmFactors",
+            "warm_started",
+            "sweeps_saved",
+            "last_sweeps_saved",
+            'init="svd"',
+        ):
+            assert name in api, f"docs/API.md does not document {name!r}"
+
+    def test_delta_format_documented(self):
+        """WIRE_FORMAT.md must spec the delta payload: tag, modes, gating."""
+        text = (REPO_ROOT / "docs" / "WIRE_FORMAT.md").read_text()
+        assert "repro-fleet-delta" in text
+        from repro.io.delta import _SITE_MODES
+
+        for mode in _SITE_MODES:
+            assert f"`{mode}`" in text, (
+                f"docs/WIRE_FORMAT.md does not document delta mode {mode!r}"
+            )
+        for key in ("base_fingerprint", "__rows", "__data"):
+            assert key in text, f"docs/WIRE_FORMAT.md is missing {key!r}"
+        # The new optional request/report keys must be specified too.
+        for key in ("warm_left", "warm_right", "warm_started", "sweeps_saved"):
+            assert key in text, f"docs/WIRE_FORMAT.md is missing {key!r}"
+
+    def test_incremental_cli_documented(self):
+        """`fleet run --warm-from` and `fleet diff` must be in API.md and
+        actually exist on the parser."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for flag in ("--warm-from", "fleet diff", "--base", "--delta"):
+            assert flag in api, f"docs/API.md does not document `{flag}`"
+        from repro.experiments.cli import build_parser
+
+        help_text = build_parser().format_help()
+        assert "fleet" in help_text
+
+    def test_refresh_loop_in_architecture(self):
+        """ARCHITECTURE.md must describe the steady-state refresh loop."""
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for name in ("warm_start", "warm_from", "save_delta", "apply_delta"):
+            assert name in text, f"docs/ARCHITECTURE.md is missing {name}"
+
+    def test_daemon_warm_cache_documented(self):
+        """DaemonConfig.warm_refresh must be documented and must exist."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        assert "warm_refresh" in api
+        from repro.daemon import DaemonConfig
+
+        assert DaemonConfig().warm_refresh is True
+
+
 class TestQueryDocsSync:
     def test_matchers_and_backends_documented(self):
         """Every matcher/backend the engine accepts must appear in API.md."""
