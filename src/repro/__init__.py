@@ -86,11 +86,16 @@ from repro.query import (
     indexes_from_report,
 )
 from repro.service import (
+    Fault,
+    FaultPlan,
     FleetCampaign,
     FleetConfig,
     FleetReport,
+    InvalidWorkerCountError,
     PooledProcessExecutor,
     ProcessExecutor,
+    RemoteExecutor,
+    RemoteShardError,
     SerialExecutor,
     ShardConfig,
     ShardExecutor,
@@ -99,11 +104,12 @@ from repro.service import (
     UpdateRequest,
     UpdateService,
     WarmFactors,
+    WorkerServer,
     synthesize_fleet,
 )
 from repro.simulation.campaign import SurveyCampaign, CampaignConfig
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "UpdateRequest",
@@ -118,6 +124,12 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "PooledProcessExecutor",
+    "RemoteExecutor",
+    "WorkerServer",
+    "Fault",
+    "FaultPlan",
+    "RemoteShardError",
+    "InvalidWorkerCountError",
     "Coordinator",
     "DaemonConfig",
     "DaemonServer",

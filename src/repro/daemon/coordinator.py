@@ -88,6 +88,14 @@ class DaemonConfig:
     query:
         Configuration of the embedded :class:`~repro.query.engine.QueryEngine`
         (matcher, backend, result cache).
+    endpoints:
+        Optional remote worker URLs (``fleet workers serve`` machines).
+        When set, refresh jobs that ask for workers scatter their shards
+        over a :class:`~repro.service.remote.RemoteExecutor` across these
+        endpoints instead of the local process pool — bit-identical either
+        way.  Jobs with ``workers <= 0`` still solve serially in-process.
+    remote_timeout:
+        Per-shard dispatch timeout for remote execution, in seconds.
     """
 
     job_workers: int = 2
@@ -96,6 +104,8 @@ class DaemonConfig:
     publish_on_refresh: bool = True
     warm_refresh: bool = True
     query: QueryConfig = field(default_factory=QueryConfig)
+    endpoints: Optional[Tuple[str, ...]] = None
+    remote_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.job_workers < 1:
@@ -108,6 +118,18 @@ class DaemonConfig:
             )
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.endpoints is not None:
+            endpoints = tuple(str(e) for e in self.endpoints)
+            if not endpoints or not all(e.strip() for e in endpoints):
+                raise ValueError(
+                    "endpoints must be a non-empty tuple of worker URLs, "
+                    f"got {self.endpoints!r}"
+                )
+            object.__setattr__(self, "endpoints", endpoints)
+        if self.remote_timeout <= 0:
+            raise ValueError(
+                f"remote_timeout must be positive, got {self.remote_timeout}"
+            )
 
 
 class Coordinator:
@@ -277,6 +299,16 @@ class Coordinator:
 
         if job.workers <= 0:
             return SerialExecutor()
+        if self.config.endpoints:
+            from repro.service.remote import RemoteExecutor
+
+            return RemoteExecutor(
+                endpoints=self.config.endpoints,
+                timeout=self.config.remote_timeout,
+                max_attempts=max(1, job.max_attempts),
+                backoff=job.backoff_seconds,
+                max_workers=job.workers,
+            )
         pool = self._ensure_pool()
         if pool is None:
             return SerialExecutor()

@@ -196,6 +196,79 @@ def build_parser() -> argparse.ArgumentParser:
             "covers resume from its factors instead of a cold init"
         ),
     )
+    fleet_run_parser.add_argument(
+        "--endpoints",
+        default=None,
+        help=(
+            "comma-separated worker URLs ('fleet workers serve' machines); "
+            "scatters shards remotely (RemoteExecutor) instead of "
+            "--workers — results stay bit-identical to serial"
+        ),
+    )
+    fleet_run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-shard dispatch timeout in seconds (remote only; default 30)",
+    )
+    fleet_run_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="dispatch attempts per shard before failing (remote only; default 3)",
+    )
+    fleet_run_parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="base retry backoff in seconds, doubling per attempt "
+        "(remote only; default 0.1)",
+    )
+    fleet_run_parser.add_argument(
+        "--straggler-after",
+        dest="straggler_after",
+        type=float,
+        default=None,
+        help="re-dispatch a silent shard to a second worker after this many "
+        "seconds (remote only; default: disabled)",
+    )
+
+    workers_parser = fleet_sub.add_parser(
+        "workers",
+        help="manage remote shard workers for 'fleet run --endpoints'",
+    )
+    workers_sub = workers_parser.add_subparsers(
+        dest="workers_command", required=True
+    )
+    workers_serve_parser = workers_sub.add_parser(
+        "serve",
+        help="serve shard-solve requests over HTTP (a RemoteExecutor worker)",
+    )
+    workers_serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    workers_serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default 0: pick a free port, printed at startup)",
+    )
+    workers_serve_parser.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "arm an injected fault: kind[:shard=N][,attempt=N][,seconds=X] "
+            "with kind one of drop/delay/duplicate/corrupt/kill; repeatable "
+            "(chaos testing)"
+        ),
+    )
+    workers_serve_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each HTTP request to stderr",
+    )
 
     fleet_diff_parser = fleet_sub.add_parser(
         "diff",
@@ -368,6 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
             "size of the shared process pool refresh jobs scatter shards "
             "onto (default: CPU count; 0 disables the pool — all jobs "
             "solve serially)"
+        ),
+    )
+    daemon_start_parser.add_argument(
+        "--endpoints",
+        default=None,
+        help=(
+            "comma-separated remote worker URLs ('fleet workers serve'); "
+            "refresh jobs with a worker budget scatter shards over these "
+            "machines instead of the local process pool"
         ),
     )
     daemon_start_parser.add_argument(
@@ -593,6 +675,7 @@ def run_fleet_run(args) -> int:
     """Run ``fleet run``: refresh a from-disk payload through the sharded service."""
     from repro.io import load_report, load_requests, payload_info, save_report
     from repro.service.executor import ProcessExecutor, SerialExecutor
+    from repro.service.remote import RemoteExecutor, RemoteShardError
     from repro.service.service import UpdateService
     from repro.service.shard import ShardConfig
     from repro.service.types import FleetReport
@@ -609,7 +692,30 @@ def run_fleet_run(args) -> int:
     if args.workers < 0:
         print("--workers must be non-negative", file=sys.stderr)
         return 2
-    executor = SerialExecutor() if args.workers == 0 else ProcessExecutor(args.workers)
+    endpoints = getattr(args, "endpoints", None)
+    if endpoints:
+        if args.workers:
+            print(
+                "--endpoints and --workers are mutually exclusive: shards "
+                "scatter either remotely or onto local processes",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            executor = RemoteExecutor(
+                endpoints=[e for e in endpoints.split(",") if e.strip()],
+                timeout=args.timeout,
+                max_attempts=args.max_attempts,
+                backoff=args.backoff,
+                straggler_after=args.straggler_after,
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    elif args.workers == 0:
+        executor = SerialExecutor()
+    else:
+        executor = ProcessExecutor(args.workers)
 
     try:
         info = payload_info(args.input)
@@ -626,6 +732,9 @@ def run_fleet_run(args) -> int:
         reports = service.update_fleet(
             requests, shards=shards, executor=executor, warm_from=warm_from
         )
+    except RemoteShardError as error:
+        print(error, file=sys.stderr)
+        return 1
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
@@ -658,15 +767,68 @@ def run_fleet_run(args) -> int:
                 else " (unbounded)"
             )
         )
-        print(
-            f"executor: {executor.name}"
-            + (f" ({executor.workers} workers)" if executor.workers else "")
-        )
+        if isinstance(executor, RemoteExecutor):
+            attempts = sum(executor.last_attempts.values())
+            retries = sum(executor.last_retries.values())
+            redispatched = sum(executor.last_redispatches.values())
+            print(
+                f"executor: remote ({len(executor.endpoints)} endpoint(s); "
+                f"{attempts} dispatch(es), {retries} retried, "
+                f"{redispatched} re-dispatched, "
+                f"{executor.last_duplicates_dropped} duplicate(s) dropped)"
+            )
+        else:
+            print(
+                f"executor: {executor.name}"
+                + (f" ({executor.workers} workers)" if executor.workers else "")
+            )
     print()
     print(format_fleet_report(report))
     if args.out:
         save_report(args.out, report)
         print(f"wrote report to {args.out}")
+    return 0
+
+
+def run_fleet_workers_serve(args) -> int:
+    """Run ``fleet workers serve``: one remote shard worker, until signalled."""
+    import signal
+    import threading
+
+    from repro.service.remote import FaultPlan, WorkerServer
+
+    faults = None
+    if args.fault:
+        try:
+            faults = FaultPlan.parse(args.fault)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    try:
+        server = WorkerServer(host=args.host, port=args.port, faults=faults)
+    except OSError as error:
+        print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    server.verbose = args.verbose
+
+    # Stop from the signal handler without joining the serve loop inline:
+    # WorkerServer.stop() is safe off the serving thread (start() serves on
+    # a daemon thread), and wait() below unblocks once it has run.
+    def _stop(signum, frame):
+        threading.Thread(target=server.stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+
+    server.start()
+    armed = 0 if faults is None else len(faults.pending)
+    print(
+        f"worker listening on {server.url}"
+        + (f" ({armed} fault(s) armed)" if armed else ""),
+        flush=True,
+    )
+    server.wait()
+    print(f"worker stopped after solving {server.solved} shard(s)", flush=True)
     return 0
 
 
@@ -1001,10 +1163,16 @@ def run_daemon_start(args) -> int:
         print("--cache must be non-negative", file=sys.stderr)
         return 2
     try:
+        endpoints = None
+        if getattr(args, "endpoints", None):
+            endpoints = tuple(
+                e.strip() for e in args.endpoints.split(",") if e.strip()
+            )
         config = DaemonConfig(
             job_workers=args.job_workers,
             pool_workers=args.pool_workers,
             query=QueryConfig(matcher=args.matcher, cache_size=args.cache),
+            endpoints=endpoints,
         )
         coordinator = Coordinator(args.spool, config=config)
     except ValueError as error:
@@ -1149,6 +1317,8 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             return run_fleet_export(args)
         if fleet_command == "run":
             return run_fleet_run(args)
+        if fleet_command == "workers":
+            return run_fleet_workers_serve(args)
         if fleet_command == "diff":
             return run_fleet_diff(args)
         return run_fleet(args)

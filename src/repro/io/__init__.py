@@ -44,7 +44,11 @@ from repro.io.query import (
 from repro.io.wire import (
     REPORT_FORMAT,
     REQUESTS_FORMAT,
+    SHARD_RESULT_FORMAT,
+    SHARD_TASK_FORMAT,
     WIRE_VERSION,
+    ShardTask,
+    WirePayloadError,
     load_report,
     load_requests,
     payload_info,
@@ -52,12 +56,26 @@ from repro.io.wire import (
     requests_to_bytes,
     save_report,
     save_requests,
+    shard_fingerprint,
+    shard_result_from_bytes,
+    shard_result_to_bytes,
+    shard_task_from_bytes,
+    shard_task_to_bytes,
 )
 
 __all__ = [
     "WIRE_VERSION",
     "REQUESTS_FORMAT",
     "REPORT_FORMAT",
+    "SHARD_TASK_FORMAT",
+    "SHARD_RESULT_FORMAT",
+    "WirePayloadError",
+    "ShardTask",
+    "shard_fingerprint",
+    "shard_task_to_bytes",
+    "shard_task_from_bytes",
+    "shard_result_to_bytes",
+    "shard_result_from_bytes",
     "QUERIES_FORMAT",
     "ANSWERS_FORMAT",
     "DELTA_FORMAT",

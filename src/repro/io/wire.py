@@ -27,10 +27,12 @@ Guarantees:
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import zipfile
-from dataclasses import fields
+import zlib
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,6 +54,10 @@ __all__ = [
     "WIRE_VERSION",
     "REQUESTS_FORMAT",
     "REPORT_FORMAT",
+    "SHARD_TASK_FORMAT",
+    "SHARD_RESULT_FORMAT",
+    "WirePayloadError",
+    "ShardTask",
     "save_requests",
     "load_requests",
     "requests_to_bytes",
@@ -59,6 +65,11 @@ __all__ = [
     "save_report",
     "load_report",
     "payload_info",
+    "shard_fingerprint",
+    "shard_task_to_bytes",
+    "shard_task_from_bytes",
+    "shard_result_to_bytes",
+    "shard_result_from_bytes",
 ]
 
 WIRE_VERSION = 1
@@ -69,6 +80,24 @@ REQUESTS_FORMAT = "repro-fleet-requests"
 
 REPORT_FORMAT = "repro-fleet-report"
 """Format tag of a report payload."""
+
+SHARD_TASK_FORMAT = "repro-shard-task"
+"""Format tag of a remote shard-task payload (scatter direction)."""
+
+SHARD_RESULT_FORMAT = "repro-shard-result"
+"""Format tag of a remote shard-result payload (gather direction)."""
+
+
+class WirePayloadError(ValueError):
+    """A wire payload failed validation (corrupt, truncated, wrong format).
+
+    Subclasses ``ValueError`` so every existing ``except ValueError`` path
+    keeps working; the distinct type exists so transport code (the remote
+    executor's retry loop, the worker server's 400 path) can tell "this
+    payload is bad" apart from any other ``ValueError`` — and so the wire
+    fuzz suite can assert corruption *always* surfaces as this one typed
+    error instead of a silent wrong result or a stray exception.
+    """
 
 
 # --------------------------------------------------------------------- common
@@ -128,16 +157,22 @@ def _read_manifest(path) -> Tuple[dict, "np.lib.npyio.NpzFile"]:
     """Open any wire payload and decode its manifest (no format check)."""
     try:
         payload = np.load(path, allow_pickle=False)
-    except (OSError, ValueError, zipfile.BadZipFile) as exc:
-        raise ValueError(f"cannot read wire payload {path!r}: {exc}") from exc
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise WirePayloadError(
+            f"cannot read wire payload {path!r}: {exc}"
+        ) from exc
     if "manifest" not in payload:
-        raise ValueError(f"{path!r} is not a fleet wire payload (no manifest entry)")
+        raise WirePayloadError(
+            f"{path!r} is not a fleet wire payload (no manifest entry)"
+        )
     try:
         manifest = json.loads(str(payload["manifest"][()]))
     except (json.JSONDecodeError, TypeError) as exc:
-        raise ValueError(f"corrupt manifest in {path!r}: {exc}") from exc
+        raise WirePayloadError(f"corrupt manifest in {path!r}: {exc}") from exc
     if not isinstance(manifest, dict):
-        raise ValueError(f"corrupt manifest in {path!r}: expected a JSON object")
+        raise WirePayloadError(
+            f"corrupt manifest in {path!r}: expected a JSON object"
+        )
     return manifest, payload
 
 
@@ -145,12 +180,12 @@ def _read_payload(path, expected_format: str) -> Tuple[dict, "np.lib.npyio.NpzFi
     manifest, payload = _read_manifest(path)
     got_format = manifest.get("format")
     if got_format != expected_format:
-        raise ValueError(
+        raise WirePayloadError(
             f"{path!r} holds format {got_format!r}, expected {expected_format!r}"
         )
     version = manifest.get("version")
     if version != WIRE_VERSION:
-        raise ValueError(
+        raise WirePayloadError(
             f"{path!r} is wire version {version!r}; this build reads version "
             f"{WIRE_VERSION}"
         )
@@ -161,7 +196,9 @@ def _get_array(payload, key: str, path) -> np.ndarray:
     try:
         return payload[key]
     except KeyError:
-        raise ValueError(f"payload {path!r} is missing array {key!r}") from None
+        raise WirePayloadError(
+            f"payload {path!r} is missing array {key!r}"
+        ) from None
 
 
 def payload_info(path) -> dict:
@@ -383,6 +420,250 @@ def requests_from_bytes(data: bytes) -> List[UpdateRequest]:
     of a divergent solve.
     """
     return load_requests(io.BytesIO(data))
+
+
+# ------------------------------------------------------- remote shard payloads
+#
+# The remote scatter-gather transport (repro.service.remote) ships shards to
+# workers on other machines, so both directions get their own framed payload:
+#
+# * a **shard task** wraps one shard's `repro-fleet-requests` payload bytes
+#   verbatim (workers rehydrate with the exact `requests_from_bytes` path the
+#   process-pool executor uses) plus the shard's plan index, the dispatch
+#   attempt number, and a SHA-256 fingerprint of (shard index, request bytes);
+# * a **shard result** carries the solved `ShardResult` — per-member factors
+#   and estimates bit-exactly as NPZ arrays — echoing the task fingerprint so
+#   the gather side can match results to tasks, reject cross-wired responses,
+#   and deduplicate duplicated completions deterministically.
+#
+# The fingerprint deliberately excludes the attempt number: every retry and
+# straggler re-dispatch of one shard fingerprints identically, which is what
+# makes completions idempotent.  Decoders raise `WirePayloadError` on any
+# corruption (truncation, bit flips, wrong tags, fingerprint mismatch) —
+# pinned by tests/io/test_wire_fuzz.py.
+
+#: Exceptions any stage of payload decoding can raise on corrupt bytes;
+#: decoders translate all of them into :class:`WirePayloadError`.
+_DECODE_ERRORS = (
+    ValueError,
+    KeyError,
+    TypeError,
+    OSError,
+    EOFError,  # np.load on payloads truncated to (nearly) nothing
+    zipfile.BadZipFile,
+    zlib.error,
+)
+
+
+def shard_fingerprint(requests_payload: bytes, shard_index: int) -> str:
+    """SHA-256 identity of one scattered shard: its index + request bytes.
+
+    Stable across dispatch attempts, so a shard completed twice (straggler
+    re-dispatch, deliberate duplication) yields byte-identical fingerprints
+    and the gather side can deduplicate deterministically.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro-shard:{int(shard_index)}:".encode("ascii"))
+    digest.update(requests_payload)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A decoded shard-task payload, as a worker sees it.
+
+    Attributes
+    ----------
+    shard_index:
+        The shard's index in the coordinator's executed plan.
+    attempt:
+        0-based dispatch attempt this payload belongs to (bookkeeping only;
+        it does not feed the fingerprint).
+    fingerprint:
+        :func:`shard_fingerprint` of ``(shard_index, requests_payload)``,
+        verified on decode.
+    requests_payload:
+        The member requests as verbatim ``repro-fleet-requests`` bytes;
+        ``requests()`` rehydrates them through the standard validation path.
+    """
+
+    shard_index: int
+    attempt: int
+    fingerprint: str
+    requests_payload: bytes
+
+    def requests(self) -> List[UpdateRequest]:
+        """Rehydrate the member requests (full wire validation applies)."""
+        return requests_from_bytes(self.requests_payload)
+
+
+def shard_task_to_bytes(
+    requests_payload: bytes, shard_index: int, attempt: int = 0
+) -> bytes:
+    """Frame one shard's request bytes as a ``repro-shard-task`` payload."""
+    if not isinstance(requests_payload, (bytes, bytearray)):
+        raise TypeError(
+            f"requests_payload must be bytes, got {type(requests_payload).__name__}"
+        )
+    manifest = {
+        "format": SHARD_TASK_FORMAT,
+        "version": WIRE_VERSION,
+        "shard_index": int(shard_index),
+        "attempt": int(attempt),
+        "fingerprint": shard_fingerprint(requests_payload, shard_index),
+    }
+    buffer = io.BytesIO()
+    _write_payload(
+        buffer,
+        manifest,
+        {"requests_payload": np.frombuffer(bytes(requests_payload), dtype=np.uint8)},
+    )
+    return buffer.getvalue()
+
+
+def shard_task_from_bytes(data: bytes) -> ShardTask:
+    """Decode and validate a ``repro-shard-task`` payload.
+
+    Raises :class:`WirePayloadError` when the payload is truncated, bit-
+    flipped, mislabeled, or its embedded request bytes no longer hash to the
+    recorded fingerprint.
+    """
+    try:
+        manifest, payload = _read_payload(io.BytesIO(data), SHARD_TASK_FORMAT)
+        shard_index = int(manifest["shard_index"])
+        attempt = int(manifest["attempt"])
+        recorded = str(manifest["fingerprint"])
+        embedded = _get_array(payload, "requests_payload", "<shard task>")
+        if embedded.dtype != np.uint8 or embedded.ndim != 1:
+            raise WirePayloadError(
+                f"shard task carries a {embedded.dtype}/{embedded.ndim}-d "
+                "requests_payload entry; expected 1-d uint8 bytes"
+            )
+        requests_payload = embedded.tobytes()
+    except WirePayloadError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise WirePayloadError(f"corrupt shard task payload: {exc}") from exc
+    actual = shard_fingerprint(requests_payload, shard_index)
+    if actual != recorded:
+        raise WirePayloadError(
+            f"shard task fingerprint mismatch: payload records {recorded}, "
+            f"embedded request bytes hash to {actual} — corrupt in transit"
+        )
+    return ShardTask(
+        shard_index=shard_index,
+        attempt=attempt,
+        fingerprint=recorded,
+        requests_payload=requests_payload,
+    )
+
+
+def shard_result_to_bytes(result, fingerprint: str, shard_index: int) -> bytes:
+    """Serialize one solved :class:`~repro.core.stacked.ShardResult`.
+
+    ``fingerprint`` is echoed from the task so the gather side can pair the
+    completion with its dispatch; the member results' estimates and factors
+    ride as NPZ arrays bit-exactly.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    members: List[dict] = []
+    for position, member in enumerate(result.results):
+        key = f"res{position:04d}"
+        arrays[f"{key}__estimate"] = member.estimate
+        arrays[f"{key}__left"] = member.left
+        arrays[f"{key}__right"] = member.right
+        members.append(
+            {
+                "objective": float(member.objective),
+                "iterations": int(member.iterations),
+                "converged": bool(member.converged),
+                "reference_weight": float(member.reference_weight),
+                "structure_weight": float(member.structure_weight),
+            }
+        )
+    manifest = {
+        "format": SHARD_RESULT_FORMAT,
+        "version": WIRE_VERSION,
+        "fingerprint": str(fingerprint),
+        "shard_index": int(shard_index),
+        "sweeps": int(result.sweeps),
+        "fallback": bool(result.fallback),
+        "count": len(members),
+        "results": members,
+    }
+    buffer = io.BytesIO()
+    _write_payload(buffer, manifest, arrays)
+    return buffer.getvalue()
+
+
+def shard_result_from_bytes(data: bytes):
+    """Decode a ``repro-shard-result`` payload back into gather-side values.
+
+    Returns ``(shard_result, fingerprint, shard_index)`` where
+    ``shard_result`` is a :class:`~repro.core.stacked.ShardResult`.  Raises
+    :class:`WirePayloadError` on any corruption: bad zip structure, CRC
+    failures on bit-flipped arrays, missing entries, shape-inconsistent
+    factors, or non-finite values.
+    """
+    from repro.core.stacked import ShardResult
+
+    try:
+        manifest, payload = _read_payload(io.BytesIO(data), SHARD_RESULT_FORMAT)
+        fingerprint = str(manifest["fingerprint"])
+        shard_index = int(manifest["shard_index"])
+        sweeps = int(manifest["sweeps"])
+        fallback = bool(manifest["fallback"])
+        members = manifest["results"]
+        if not isinstance(members, list) or manifest["count"] != len(members):
+            raise WirePayloadError(
+                "corrupt shard result: member list/count mismatch"
+            )
+        results = []
+        for position, entry in enumerate(members):
+            key = f"res{position:04d}"
+            estimate = _get_array(payload, f"{key}__estimate", "<shard result>")
+            left = _get_array(payload, f"{key}__left", "<shard result>")
+            right = _get_array(payload, f"{key}__right", "<shard result>")
+            if estimate.ndim != 2 or left.ndim != 2 or right.ndim != 2:
+                raise WirePayloadError(
+                    f"shard result member {position} carries non-2-d arrays"
+                )
+            m, n = estimate.shape
+            rank = left.shape[1]
+            if left.shape != (m, rank) or right.shape != (n, rank):
+                raise WirePayloadError(
+                    f"shard result member {position} factor shapes "
+                    f"{left.shape}/{right.shape} do not fit estimate {estimate.shape}"
+                )
+            if not (
+                np.isfinite(estimate).all()
+                and np.isfinite(left).all()
+                and np.isfinite(right).all()
+            ):
+                raise WirePayloadError(
+                    f"shard result member {position} carries non-finite values"
+                )
+            results.append(
+                SelfAugmentedResult(
+                    estimate=estimate,
+                    left=left,
+                    right=right,
+                    objective=float(entry["objective"]),
+                    iterations=int(entry["iterations"]),
+                    converged=bool(entry["converged"]),
+                    reference_weight=float(entry["reference_weight"]),
+                    structure_weight=float(entry["structure_weight"]),
+                )
+            )
+    except WirePayloadError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise WirePayloadError(f"corrupt shard result payload: {exc}") from exc
+    return (
+        ShardResult(results=tuple(results), sweeps=sweeps, fallback=fallback),
+        fingerprint,
+        shard_index,
+    )
 
 
 # -------------------------------------------------------------------- reports

@@ -14,11 +14,16 @@ database at a time, this package makes the multi-site workload primary:
   :class:`~repro.service.shard.ShardPlan`), and executes every shard as
   stacked batched solves — bit-identical per site for any shard split.
 * :class:`~repro.service.executor.SerialExecutor` /
-  :class:`~repro.service.executor.ProcessExecutor` — pluggable execution
+  :class:`~repro.service.executor.ProcessExecutor` /
+  :class:`~repro.service.remote.RemoteExecutor` — pluggable execution
   backends behind ``update_fleet(requests, executor=...)``: in-process by
-  default, or scatter-gather over worker processes that rehydrate their
-  shards from :mod:`repro.io` wire payloads — bit-identical for any worker
-  count.
+  default, scatter-gather over worker processes, or scatter-gather over
+  HTTP :class:`~repro.service.remote.WorkerServer` machines with retry,
+  straggler re-dispatch, failover and fingerprint-deduplicated results —
+  all rehydrating shards from :mod:`repro.io` wire payloads and all
+  bit-identical for any worker or endpoint count (the
+  :class:`~repro.service.remote.FaultPlan` chaos seam pins this under
+  injected failures).
 * :class:`~repro.service.fleet.FleetCampaign` — builds the paper's
   office / hall / library deployments and refreshes all of them per survey
   stamp, returning per-site and aggregate
@@ -31,12 +36,20 @@ path; see ``docs/API.md`` for the public surface.
 """
 
 from repro.service.executor import (
+    InvalidWorkerCountError,
     PooledProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     ShardExecutor,
 )
 from repro.service.fleet import PAPER_FLEET, FleetCampaign, FleetConfig
+from repro.service.remote import (
+    Fault,
+    FaultPlan,
+    RemoteExecutor,
+    RemoteShardError,
+    WorkerServer,
+)
 from repro.service.service import UpdateService
 from repro.service.shard import (
     DEFAULT_MAX_STACK_BYTES,
@@ -70,6 +83,12 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "PooledProcessExecutor",
+    "RemoteExecutor",
+    "WorkerServer",
+    "Fault",
+    "FaultPlan",
+    "RemoteShardError",
+    "InvalidWorkerCountError",
     "plan_shards",
     "synthesize_fleet",
 ]

@@ -60,14 +60,45 @@ from repro.service.shard import Shard, ShardPlan, mark_executed
 from repro.service.types import UpdateRequest
 
 __all__ = [
+    "InvalidWorkerCountError",
     "ShardExecutor",
     "SerialExecutor",
     "ProcessExecutor",
     "PooledProcessExecutor",
     "resolve_executor",
+    "validate_worker_count",
 ]
 
 _NUMERICAL_ERRORS = (np.linalg.LinAlgError, FloatingPointError)
+
+
+class InvalidWorkerCountError(ValueError):
+    """``max_workers`` was not a positive integer.
+
+    The one named error every executor backend raises for a bad worker
+    count, so callers (CLI flag handlers, the daemon's job admission) can
+    catch and report it uniformly — a ``ValueError`` subclass, keeping
+    existing handlers working.
+    """
+
+
+def validate_worker_count(value, owner: str) -> int:
+    """Validate an executor's ``max_workers``: a positive integer, uniformly.
+
+    Rejects non-integers (including ``bool`` and floats — silently
+    truncating ``2.5`` workers would mask a caller bug) and anything below
+    1 with an :class:`InvalidWorkerCountError` naming the owning backend.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise InvalidWorkerCountError(
+            f"{owner} max_workers must be an integer, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if value < 1:
+        raise InvalidWorkerCountError(
+            f"{owner} max_workers must be at least 1, got {value}"
+        )
+    return int(value)
 
 
 class ShardExecutor(ABC):
@@ -163,6 +194,34 @@ class SerialExecutor(ShardExecutor):
         return plan, results
 
 
+def scatter_request(site: PreparedSite) -> UpdateRequest:
+    """The request as scattered: the coordinator's MIC/LRR always attached.
+
+    Shared by every scatter-gather backend (process pool and remote HTTP),
+    so workers skip Inherent Correlation Acquisition instead of recomputing
+    what the coordinator's prepare stage already paid for.
+    """
+    if site.request.correlation is not None:
+        return site.request
+    return replace(site.request, correlation=(site.mic, site.lrr))
+
+
+def check_reproducible(
+    prepared: Sequence[PreparedSite], plan: ShardPlan, owner: str
+) -> None:
+    """Reject request seeds a scattered worker could not reproduce from."""
+    for shard in plan.shards:
+        for index in shard.members:
+            rng = prepared[index].request.rng
+            if not isinstance(rng, (int, np.integer)) or isinstance(rng, bool):
+                raise ValueError(
+                    f"site {prepared[index].request.site!r} carries rng="
+                    f"{rng!r}; {owner} needs a reproducible "
+                    "integer seed per request so worker processes "
+                    "re-derive the coordinator's random init exactly"
+                )
+
+
 def _solve_shard_payload(payload: bytes, shard_index: int) -> ShardResult:
     """Worker entry point: rehydrate one shard's requests and solve them.
 
@@ -198,9 +257,7 @@ class ProcessExecutor(ShardExecutor):
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
-        if max_workers < 1:
-            raise ValueError(f"max_workers must be at least 1, got {max_workers}")
-        self.max_workers = int(max_workers)
+        self.max_workers = validate_worker_count(max_workers, type(self).__name__)
 
     @property
     def workers(self) -> int:
@@ -274,24 +331,13 @@ class ProcessExecutor(ShardExecutor):
     @staticmethod
     def _scatter_request(site: PreparedSite) -> UpdateRequest:
         """The request as scattered: correlation results always attached."""
-        if site.request.correlation is not None:
-            return site.request
-        return replace(site.request, correlation=(site.mic, site.lrr))
+        return scatter_request(site)
 
     def _check_reproducible(
         self, prepared: Sequence[PreparedSite], plan: ShardPlan
     ) -> None:
         """Reject seeds a worker could not reproduce the solve from."""
-        for shard in plan.shards:
-            for index in shard.members:
-                rng = prepared[index].request.rng
-                if not isinstance(rng, (int, np.integer)) or isinstance(rng, bool):
-                    raise ValueError(
-                        f"site {prepared[index].request.site!r} carries rng="
-                        f"{rng!r}; ProcessExecutor needs a reproducible "
-                        "integer seed per request so worker processes "
-                        "re-derive the coordinator's random init exactly"
-                    )
+        check_reproducible(prepared, plan, type(self).__name__)
 
 
 class PooledProcessExecutor(ProcessExecutor):

@@ -1,0 +1,206 @@
+"""Seeded fuzzing of the shard task/result wire payloads.
+
+ISSUE 10 satellite: random truncation and bit-flips of ``repro-shard-task``
+and ``repro-shard-result`` payloads must either raise the typed validation
+error (:class:`~repro.io.wire.WirePayloadError`) or — when the mutation
+happens to land in bytes the codec provably ignores — decode to content
+identical to the original.  Never a silent wrong result, never an
+unhandled exception leaking from the codec.
+
+The NPZ container's zip CRCs catch most flips; the manifest and shard
+fingerprint catch the rest (a flipped attempt number is the one field
+deliberately outside the fingerprint — idempotency keys must not change
+across retries — so the harness verifies solve-relevant content instead of
+insisting on an error).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.self_augmented import SelfAugmentedConfig
+from repro.core.updater import UpdaterConfig
+from repro.io.wire import (
+    WirePayloadError,
+    requests_to_bytes,
+    shard_fingerprint,
+    shard_result_from_bytes,
+    shard_result_to_bytes,
+    shard_task_from_bytes,
+    shard_task_to_bytes,
+)
+from repro.service.executor import _solve_shard_payload
+from repro.service.synthetic import synthesize_fleet
+
+FUZZ_ROUNDS = 120
+SEED = 0x5EED
+
+
+@pytest.fixture(scope="module")
+def requests_payload():
+    requests = synthesize_fleet(
+        2,
+        link_count=3,
+        locations_per_link=3,
+        seed=5,
+        updater=UpdaterConfig(solver=SelfAugmentedConfig(max_iterations=3)),
+    )
+    return requests_to_bytes(requests)
+
+
+@pytest.fixture(scope="module")
+def task_payload(requests_payload):
+    return shard_task_to_bytes(requests_payload, shard_index=0, attempt=1)
+
+
+@pytest.fixture(scope="module")
+def result_payload(requests_payload):
+    result = _solve_shard_payload(requests_payload, 0)
+    fingerprint = shard_fingerprint(requests_payload, 0)
+    return shard_result_to_bytes(result, fingerprint=fingerprint, shard_index=0)
+
+
+def _mutations(data, rng, rounds):
+    """Yield ``rounds`` random corruptions: truncations and bit-flips."""
+    for round_index in range(rounds):
+        corrupted = bytearray(data)
+        if round_index % 3 == 0:
+            # Truncate at a random point (including to empty).
+            cut = int(rng.integers(0, len(corrupted)))
+            corrupted = corrupted[:cut]
+        else:
+            # Flip 1..8 random bits.
+            for _ in range(int(rng.integers(1, 9))):
+                offset = int(rng.integers(0, len(corrupted)))
+                corrupted[offset] ^= 1 << int(rng.integers(0, 8))
+        if bytes(corrupted) != bytes(data):
+            yield bytes(corrupted)
+
+
+def _results_equal(a, b):
+    """Bit-exact equality of two decoded shard results."""
+    if a.sweeps != b.sweeps or a.fallback != b.fallback:
+        return False
+    if len(a.results) != len(b.results):
+        return False
+    for left, right in zip(a.results, b.results):
+        if not (
+            np.array_equal(left.estimate, right.estimate)
+            and np.array_equal(left.left, right.left)
+            and np.array_equal(left.right, right.right)
+            and left.objective == right.objective
+            and left.iterations == right.iterations
+            and left.converged == right.converged
+            and left.reference_weight == right.reference_weight
+            and left.structure_weight == right.structure_weight
+        ):
+            return False
+    return True
+
+
+class TestShardTaskFuzz:
+    def test_corrupted_tasks_never_decode_silently_wrong(self, task_payload):
+        rng = np.random.default_rng(SEED)
+        original = shard_task_from_bytes(task_payload)
+        rejected = 0
+        for corrupted in _mutations(task_payload, rng, FUZZ_ROUNDS):
+            try:
+                decoded = shard_task_from_bytes(corrupted)
+            except WirePayloadError:
+                rejected += 1
+                continue
+            # Decoded despite corruption: every solve-relevant field must be
+            # provably untouched (the fingerprint pins shard_index + bytes).
+            assert decoded.requests_payload == original.requests_payload
+            assert decoded.shard_index == original.shard_index
+            assert decoded.fingerprint == original.fingerprint
+        # The harness actually exercised the error path, not a no-op corpus.
+        assert rejected > FUZZ_ROUNDS // 2
+
+    def test_truncation_to_empty_is_rejected(self):
+        with pytest.raises(WirePayloadError):
+            shard_task_from_bytes(b"")
+
+    def test_wrong_format_tag_is_rejected(self, requests_payload):
+        with pytest.raises(WirePayloadError, match="format"):
+            shard_task_from_bytes(requests_payload)
+
+    def test_fingerprint_tamper_is_rejected(self, requests_payload):
+        """A recorded fingerprint that does not hash the bytes must not pass."""
+        import io
+
+        from repro.io.wire import SHARD_TASK_FORMAT, WIRE_VERSION, _write_payload
+
+        manifest = {
+            "format": SHARD_TASK_FORMAT,
+            "version": WIRE_VERSION,
+            "shard_index": 3,
+            "attempt": 0,
+            "fingerprint": "0" * 64,
+        }
+        buffer = io.BytesIO()
+        _write_payload(
+            buffer,
+            manifest,
+            {"requests_payload": np.frombuffer(requests_payload, dtype=np.uint8)},
+        )
+        with pytest.raises(WirePayloadError, match="fingerprint"):
+            shard_task_from_bytes(buffer.getvalue())
+
+
+class TestShardResultFuzz:
+    def test_corrupted_results_never_decode_silently_wrong(self, result_payload):
+        rng = np.random.default_rng(SEED + 1)
+        original, fingerprint, shard_index = shard_result_from_bytes(
+            result_payload
+        )
+        rejected = 0
+        for corrupted in _mutations(result_payload, rng, FUZZ_ROUNDS):
+            try:
+                decoded, got_fp, got_index = shard_result_from_bytes(corrupted)
+            except WirePayloadError:
+                rejected += 1
+                continue
+            assert got_fp == fingerprint
+            assert got_index == shard_index
+            assert _results_equal(decoded, original)
+        assert rejected > FUZZ_ROUNDS // 2
+
+    def test_truncation_to_empty_is_rejected(self):
+        with pytest.raises(WirePayloadError):
+            shard_result_from_bytes(b"")
+
+    def test_wrong_format_tag_is_rejected(self, task_payload):
+        with pytest.raises(WirePayloadError, match="format"):
+            shard_result_from_bytes(task_payload)
+
+    def test_nonfinite_values_are_rejected(self, requests_payload):
+        result = _solve_shard_payload(requests_payload, 0)
+        poisoned = result.results[0].estimate.copy()
+        poisoned[0, 0] = np.nan
+        bad = result.results[0].__class__(
+            estimate=poisoned,
+            left=result.results[0].left,
+            right=result.results[0].right,
+            objective=result.results[0].objective,
+            iterations=result.results[0].iterations,
+            converged=result.results[0].converged,
+            reference_weight=result.results[0].reference_weight,
+            structure_weight=result.results[0].structure_weight,
+        )
+        payload = shard_result_to_bytes(
+            result.__class__(
+                results=(bad,) + result.results[1:],
+                sweeps=result.sweeps,
+                fallback=result.fallback,
+            ),
+            fingerprint=shard_fingerprint(requests_payload, 0),
+            shard_index=0,
+        )
+        with pytest.raises(WirePayloadError, match="finite"):
+            shard_result_from_bytes(payload)
+
+
+class TestWirePayloadErrorTyping:
+    def test_is_a_value_error(self):
+        # Existing `except ValueError` call sites keep catching wire faults.
+        assert issubclass(WirePayloadError, ValueError)

@@ -371,3 +371,55 @@ class TestReportBookkeeping:
         scattered = fleet.refresh(45.0, executor=ProcessExecutor(2))
         assert scattered.executor == "process"
         assert scattered.workers == 2
+
+
+class TestWorkerCountValidation:
+    """ISSUE 10 satellite: a uniform, named error across every backend."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_process_executor_rejects_non_positive(self, bad):
+        from repro.service.executor import InvalidWorkerCountError
+
+        with pytest.raises(InvalidWorkerCountError, match="at least 1"):
+            ProcessExecutor(bad)
+
+    @pytest.mark.parametrize("bad", [2.5, "4", True, [2]])
+    def test_process_executor_rejects_non_integers(self, bad):
+        from repro.service.executor import InvalidWorkerCountError
+
+        with pytest.raises(InvalidWorkerCountError, match="integer"):
+            ProcessExecutor(bad)
+
+    def test_pooled_executor_rejects_bad_counts(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.service.executor import InvalidWorkerCountError
+
+        pool = ProcessPoolExecutor(max_workers=1)
+        try:
+            with pytest.raises(InvalidWorkerCountError, match="PooledProcessExecutor"):
+                PooledProcessExecutor(pool, max_workers=0)
+            with pytest.raises(InvalidWorkerCountError, match="integer"):
+                PooledProcessExecutor(pool, max_workers=1.5)
+        finally:
+            pool.shutdown()
+
+    def test_remote_executor_rejects_bad_counts(self):
+        from repro.service.executor import InvalidWorkerCountError
+        from repro.service.remote import RemoteExecutor
+
+        with pytest.raises(InvalidWorkerCountError, match="RemoteExecutor"):
+            RemoteExecutor(["http://127.0.0.1:1"], max_workers=0)
+        with pytest.raises(InvalidWorkerCountError, match="integer"):
+            RemoteExecutor(["http://127.0.0.1:1"], max_workers=2.5)
+
+    def test_error_is_a_value_error(self):
+        from repro.service.executor import InvalidWorkerCountError
+
+        assert issubclass(InvalidWorkerCountError, ValueError)
+
+    def test_error_names_the_owner(self):
+        from repro.service.executor import InvalidWorkerCountError
+
+        with pytest.raises(InvalidWorkerCountError, match="ProcessExecutor"):
+            ProcessExecutor(-2)

@@ -220,6 +220,82 @@ class TestIncrementalDocsSync:
         assert DaemonConfig().warm_refresh is True
 
 
+class TestRemoteDocsSync:
+    def test_remote_api_documented(self):
+        """The remote executor surface must appear in API.md by name."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for name in (
+            "RemoteExecutor",
+            "WorkerServer",
+            "FaultPlan",
+            "RemoteShardError",
+            "InvalidWorkerCountError",
+            "straggler_after",
+            "max_attempts",
+            "shard_fingerprint",
+        ):
+            assert name in api, f"docs/API.md does not document {name!r}"
+
+    def test_remote_cli_documented(self):
+        """`fleet workers serve` and the remote run flags must be in API.md
+        and actually exist on the parser."""
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for flag in (
+            "fleet workers serve",
+            "--endpoints",
+            "--fault",
+            "--straggler-after",
+        ):
+            assert flag in api, f"docs/API.md does not document `{flag}`"
+        from repro.experiments.cli import build_parser
+
+        help_text = build_parser().format_help()
+        assert "fleet" in help_text
+
+    def test_fault_kinds_documented(self):
+        """Every injectable fault class must be named in API.md."""
+        from repro.service.remote import FAULT_KINDS
+
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for kind in FAULT_KINDS:
+            assert f"`{kind}`" in api, (
+                f"docs/API.md does not document the {kind!r} fault"
+            )
+
+    def test_transport_layer_in_architecture(self):
+        """ARCHITECTURE.md must describe the remote transport with its
+        actual class names, the timeline and the failure state machine."""
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for name in (
+            "RemoteExecutor",
+            "WorkerServer",
+            "FaultPlan",
+            "RemoteShardError",
+            "shard_fingerprint",
+        ):
+            assert name in text, f"docs/ARCHITECTURE.md is missing {name}"
+        for phrase in ("scatter", "gather", "straggler", "failover", "retry"):
+            assert phrase in text.lower(), (
+                f"docs/ARCHITECTURE.md transport section lost {phrase!r}"
+            )
+
+    def test_shard_payloads_documented(self):
+        """WIRE_FORMAT.md must spec both shard payload kinds with their
+        real format tags and manifest keys."""
+        from repro.io.wire import SHARD_RESULT_FORMAT, SHARD_TASK_FORMAT
+
+        text = (REPO_ROOT / "docs" / "WIRE_FORMAT.md").read_text()
+        assert SHARD_TASK_FORMAT in text
+        assert SHARD_RESULT_FORMAT in text
+        for key in (
+            "fingerprint",
+            "requests_payload",
+            "WirePayloadError",
+            "res####__estimate",
+        ):
+            assert key in text, f"docs/WIRE_FORMAT.md is missing {key!r}"
+
+
 class TestQueryDocsSync:
     def test_matchers_and_backends_documented(self):
         """Every matcher/backend the engine accepts must appear in API.md."""
